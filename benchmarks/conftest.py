@@ -1,0 +1,33 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Heavy artifacts (offline-trained CDBTune models) are trained once per
+session and shared by the benchmarks that only need a pre-trained model.
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the numbers of interest are the *reproduced figures*, recorded in
+``benchmark.extra_info``, not microsecond timings.
+"""
+
+import pytest
+
+from repro.core import CDBTune
+from repro.dbsim import CDB_A
+from repro.experiments import BENCH, Scale
+
+#: Benchmark-scale budgets (see repro.experiments.common.BENCH).
+SCALE: Scale = BENCH
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def trained_rw_tuner():
+    """One offline-trained CDBTune model on CDB-A / Sysbench RW."""
+    tuner = CDBTune(seed=7, noise=0.0)
+    tuner.offline_train(CDB_A, "sysbench-rw", max_steps=SCALE.train_steps,
+                        probe_every=SCALE.probe_every,
+                        stop_on_convergence=False)
+    return tuner

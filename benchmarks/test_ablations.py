@@ -1,0 +1,86 @@
+"""Ablation benchmarks for design choices DESIGN.md calls out.
+
+Not figures from the paper, but claims it makes in prose:
+
+* §5.1: "the method of priority experience replay … increases the
+  convergence speed by a factor of two" — PER on/off ablation.
+* §2.1.1 cold start: the stratified warmup seeds the memory pool — warmup
+  on/off ablation.
+* §7: "other ML solutions can be explored" — TD3 (twin critics, delayed
+  policy) as the drop-in extension agent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CDBTune, TuningEnvironment, offline_train, online_tune
+from repro.dbsim import CDB_A, SimulatedDatabase, get_workload
+from repro.rl import TD3Agent, TD3Config
+from repro.rl.spaces import RunningNormalizer
+from .conftest import SCALE, run_once
+
+
+def _train_and_tune(seed: int, prioritized: bool = True,
+                    warmup_steps: int = 48):
+    tuner = CDBTune(seed=seed, noise=0.0, prioritized_replay=prioritized)
+    training = tuner.offline_train(CDB_A, "sysbench-rw",
+                                   max_steps=SCALE.train_steps,
+                                   probe_every=SCALE.probe_every,
+                                   warmup_steps=warmup_steps,
+                                   stop_on_convergence=False)
+    run = tuner.tune(CDB_A, "sysbench-rw", steps=SCALE.tune_steps)
+    return training, run
+
+
+def test_ablation_prioritized_replay(benchmark):
+    """§5.1: PER should not lose to uniform replay in tuned quality."""
+    def experiment():
+        per_training, per_run = _train_and_tune(7, prioritized=True)
+        uni_training, uni_run = _train_and_tune(7, prioritized=False)
+        return per_run.best.throughput, uni_run.best.throughput
+
+    per_throughput, uniform_throughput = run_once(benchmark, experiment)
+    print(f"\n  PER: {per_throughput:.0f} txn/s, "
+          f"uniform: {uniform_throughput:.0f} txn/s")
+    # Identical budgets: PER must stay competitive (the paper reports it
+    # strictly better; our tolerance absorbs seed noise).
+    assert per_throughput >= 0.7 * uniform_throughput
+    benchmark.extra_info["per"] = per_throughput
+    benchmark.extra_info["uniform"] = uniform_throughput
+
+
+def test_ablation_warmup(benchmark):
+    """Cold-start warmup: removing the stratified try-and-error phase must
+    not help (it seeds the memory pool with the diversity §4.3 credits)."""
+    def experiment():
+        with_warmup = _train_and_tune(7, warmup_steps=48)[1].best.throughput
+        without = _train_and_tune(7, warmup_steps=1)[1].best.throughput
+        return with_warmup, without
+
+    with_warmup, without = run_once(benchmark, experiment)
+    print(f"\n  warmup 48: {with_warmup:.0f}, warmup 1: {without:.0f}")
+    assert with_warmup >= 0.6 * without
+    benchmark.extra_info["with_warmup"] = with_warmup
+    benchmark.extra_info["without_warmup"] = without
+
+
+def test_extension_td3_agent(benchmark):
+    """§7 extension: TD3 drops into the same pipeline and also tunes the
+    instance far above its defaults."""
+    def experiment():
+        database = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                     noise=0.0)
+        env = TuningEnvironment(database)
+        agent = TD3Agent(TD3Config(state_dim=63, action_dim=env.action_dim,
+                                   seed=7))
+        agent.state_normalizer = RunningNormalizer(63)
+        offline_train(env, agent, max_steps=SCALE.train_steps,
+                      probe_every=SCALE.probe_every,
+                      stop_on_convergence=False)
+        run = online_tune(env, agent, steps=SCALE.tune_steps)
+        return run.initial.throughput, run.best.throughput
+
+    initial, best = run_once(benchmark, experiment)
+    print(f"\n  TD3: {initial:.0f} -> {best:.0f} txn/s")
+    assert best > 2.0 * initial
+    benchmark.extra_info["td3_best"] = best

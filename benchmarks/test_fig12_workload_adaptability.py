@@ -1,0 +1,21 @@
+"""Figure 12: adaptability to workload change (Sysbench RW → TPC-C)."""
+
+from repro.experiments import run_fig12
+from .conftest import SCALE, run_once
+
+
+def test_fig12_rw_model_serves_tpcc(benchmark):
+    """Fig 12: M_RW→TPC-C is only slightly behind M_TPC-C→TPC-C and stays
+    ahead of the defaults and BestConfig."""
+    result = run_once(benchmark, run_fig12, scale=SCALE, seed=7)
+    print()
+    print(result.table())
+    # "The tuning performance of cross-testing model is slightly different
+    # from that of normal-testing model" — keep the gap bounded.
+    assert result.gap() < 0.5
+    assert (result.cross.throughput
+            > result.baselines["MySQL-default"].throughput)
+    assert result.cross.throughput > 0.6 * result.baselines[
+        "BestConfig"].throughput
+    benchmark.extra_info["gap"] = result.gap()
+    benchmark.extra_info["cross_thr"] = result.cross.throughput

@@ -1,0 +1,28 @@
+"""Figure 15 (Appendix C.1.2): the C_T / C_L preference trade-off."""
+
+import numpy as np
+
+from repro.experiments import run_fig15
+from .conftest import SCALE, run_once
+
+
+def test_fig15_ct_shifts_the_tradeoff(benchmark):
+    """Fig 15: larger C_T biases the tuned result toward throughput; the
+    C_T = 0.5 benchmark sits between the extremes."""
+    result = run_once(benchmark, run_fig15, ct_values=(0.2, 0.8),
+                      scale=SCALE, seed=7)
+    print()
+    print(result.table())
+    ratios = dict(zip(result.ct_values, result.throughput_ratio))
+    # The benchmark point is 1.0 by construction.
+    assert ratios[0.5] == 1.0
+    # In the simulator latency is Little's-law-coupled to throughput
+    # (closed-loop clients), so the C_T preference has far less room to
+    # act than on the paper's testbed and training noise dominates the
+    # trend.  Assert the runs are sane and report the ratios; see
+    # EXPERIMENTS.md for the partial-reproduction note.
+    for ct, ratio in ratios.items():
+        assert 0.1 < ratio < 10.0, f"degenerate training at C_T={ct}"
+    lat_ratios = dict(zip(result.ct_values, result.latency_ratio))
+    assert all(np.isfinite(r) for r in lat_ratios.values())
+    benchmark.extra_info["throughput_ratios"] = ratios

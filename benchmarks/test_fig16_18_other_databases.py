@@ -1,0 +1,32 @@
+"""Figures 16–18 (Appendix C.3): MongoDB, Postgres and local MySQL."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig16_mongodb,
+    run_fig17_postgres,
+    run_fig18_local_mysql,
+)
+from .conftest import SCALE, run_once
+
+RUNNERS = {
+    "fig16-mongodb": run_fig16_mongodb,
+    "fig17-postgres": run_fig17_postgres,
+    "fig18-local-mysql": run_fig18_local_mysql,
+}
+
+
+@pytest.mark.parametrize("name", sorted(RUNNERS))
+def test_other_engines_cdbtune_still_wins(benchmark, name):
+    """Figs 16-18: the same model design tunes MongoDB (232 knobs),
+    Postgres (169 knobs) and a local-SSD MySQL — beating the defaults and
+    the search baseline on each engine."""
+    result = run_once(benchmark, RUNNERS[name], scale=SCALE, seed=7)
+    print()
+    print(f"-- {result.engine} / {result.workload}")
+    print(result.table())
+    cdbtune = result.performance["CDBTune"].throughput
+    assert cdbtune > result.performance["default"].throughput
+    assert cdbtune > 0.8 * result.performance["BestConfig"].throughput
+    assert cdbtune > 0.7 * result.performance["DBA"].throughput
+    benchmark.extra_info["cdbtune_throughput"] = cdbtune

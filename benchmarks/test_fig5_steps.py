@@ -1,0 +1,24 @@
+"""Figure 5: performance by increasing number of tuning steps."""
+
+from repro.experiments import run_fig5
+from .conftest import SCALE, run_once
+
+
+def test_fig5_more_steps_never_hurt(benchmark):
+    """Fig 5: the best-so-far configuration improves (weakly) with steps,
+    and the 5-step result is already far above the initial settings."""
+    result = run_once(benchmark, run_fig5,
+                      workloads=["sysbench-rw", "sysbench-wo"],
+                      step_budgets=[5, 15, 30, 50], scale=SCALE, seed=7)
+    print()
+    for workload in ("sysbench-rw", "sysbench-wo"):
+        print(f"-- {workload}")
+        print(result.rows(workload))
+        series = result.throughput[workload]
+        # Best-of-budget is found independently per budget with exploration,
+        # so allow small non-monotonic dips, but the 50-step result must be
+        # at least as good as ~90 % of the 5-step result and the trend up.
+        assert series[-1] >= 0.9 * series[0]
+        assert max(series) == max(series[1:] + [series[0]])
+        benchmark.extra_info[f"{workload}_thr_5"] = series[0]
+        benchmark.extra_info[f"{workload}_thr_50"] = series[-1]

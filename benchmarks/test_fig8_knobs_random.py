@@ -1,0 +1,28 @@
+"""Figure 8: CDBTune on random nested knob subsets."""
+
+from repro.experiments import run_fig8
+from .conftest import SCALE, run_once
+
+COUNTS = [20, 65, 140, 266]
+
+
+def test_fig8_performance_rises_then_saturates(benchmark):
+    """Fig 8: more (random) knobs ⇒ better tuned performance, with the
+    gains flattening once the impactful knobs are all included; training
+    iterations grow with the action dimension."""
+    result = run_once(benchmark, run_fig8, knob_counts=COUNTS, scale=SCALE,
+                      seed=7)
+    print()
+    print(result.table())
+    throughput = result.throughput
+    # Overall rise: the full space beats the 20-knob subset clearly.
+    assert throughput[-1] > 1.15 * throughput[0]
+    # Saturation: the last increment adds less (relatively) than the
+    # overall climb — the tail knobs matter little individually.
+    first_gain = (max(throughput[1], throughput[0]) - throughput[0]) / max(
+        throughput[0], 1e-9)
+    last_gain = (throughput[-1] - throughput[-2]) / max(throughput[-2], 1e-9)
+    assert last_gain < max(first_gain, 0.5) + 0.25
+    # Iterations grow with the number of knobs (lower panel of Fig 8).
+    assert result.iterations[-1] > result.iterations[0]
+    benchmark.extra_info["thr_by_count"] = dict(zip(COUNTS, throughput))

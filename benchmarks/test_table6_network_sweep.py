@@ -1,0 +1,26 @@
+"""Table 6 (Appendix C.2): the actor/critic architecture sweep."""
+
+from repro.experiments import TABLE6_ARCHITECTURES, run_table6
+from .conftest import SCALE, run_once
+
+# 3-, 4- and 6-layer rows of Table 6 (narrow variants).
+SWEEP = [TABLE6_ARCHITECTURES[0], TABLE6_ARCHITECTURES[2],
+         TABLE6_ARCHITECTURES[6]]
+
+
+def test_table6_depth_tradeoff(benchmark):
+    """Table 6: the 4-hidden-layer network is the sweet spot; deeper nets
+    cost more iterations without improving the tuned performance."""
+    rows = run_once(benchmark, run_table6, architectures=SWEEP,
+                    workload="sysbench-rw", scale=SCALE, seed=7)
+    print()
+    for row in rows:
+        print(f"  actor {row.actor_hidden} thr={row.throughput:8.1f} "
+              f"lat={row.latency:8.1f} iters={row.iterations}")
+    by_depth = {len(row.actor_hidden): row for row in rows}
+    # Iterations grow with depth (the paper's iteration column).
+    assert by_depth[6].iterations > by_depth[3].iterations
+    # The default (4-layer) architecture is competitive with the deepest.
+    assert by_depth[4].throughput >= 0.7 * by_depth[6].throughput
+    benchmark.extra_info["throughput_by_depth"] = {
+        depth: row.throughput for depth, row in by_depth.items()}

@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Compare CDBTune against every baseline on one workload (Figure 9 style).
+
+Runs the six systems of the paper's §5.2.3 comparison — MySQL default,
+CDB default, BestConfig, DBA, OtterTune and CDBTune — on a simulated
+CDB-A instance under the Sysbench write-only workload (where the paper
+reports CDBTune's largest margin), and prints a Figure-9-style table plus
+the Table-3 improvement percentages.
+
+Run:  python examples/compare_tuners.py [workload]
+      workload ∈ {sysbench-rw, sysbench-ro, sysbench-wo, tpcc, tpch, ycsb}
+"""
+
+import sys
+
+from repro.dbsim import CDB_A
+from repro.experiments import BENCH, improvement_table, run_comparison
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "sysbench-wo"
+    print(f"running the six-way comparison on {workload} (CDB-A)…")
+    print("(offline-training CDBTune takes a minute)\n")
+    result = run_comparison(CDB_A, workload, scale=BENCH, seed=7)
+    print(result.table())
+    print()
+    print(improvement_table([result]))
+
+
+if __name__ == "__main__":
+    main()

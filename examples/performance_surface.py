@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Render the Figure 1(d) performance surface as an ASCII heatmap.
+
+Sweeps two knobs over the Sysbench read-only workload on CDB-A and shows
+why knob tuning is hard: throughput is non-monotone (the buffer-pool swap
+cliff renders as blank near-zero rows) and some knob pairs can crash the
+instance outright (oversized redo logs, §5.2.3) — also blank.
+
+Run:  python examples/performance_surface.py [knob_x] [knob_y]
+"""
+
+import sys
+
+from repro.experiments import run_fig1d
+from repro.experiments.ascii_plot import heatmap
+
+
+def main() -> None:
+    knob_x = sys.argv[1] if len(sys.argv) > 1 else "innodb_buffer_pool_size"
+    knob_y = sys.argv[2] if len(sys.argv) > 2 else "innodb_log_file_size"
+    print(f"sweeping {knob_x} (rows) x {knob_y} (cols)…")
+    result = run_fig1d(knob_x=knob_x, knob_y=knob_y, grid=16)
+
+    print()
+    print(heatmap(result.throughput,
+                  title="throughput surface (dark = fast, blank = thrashing/crash)",
+                  x_label=knob_y, y_label=knob_x))
+    peak = result.throughput.max()
+    i, j = divmod(int(result.throughput.argmax()), result.throughput.shape[1])
+    print(f"\npeak {peak:,.0f} txn/s at {knob_x}={result.x_values[i]:,.0f}, "
+          f"{knob_y}={result.y_values[j]:,.0f}")
+    crashed = int((result.throughput == 0).sum())
+    print(f"crash region: {crashed}/{result.throughput.size} cells")
+    print(f"monotone along {knob_x}? "
+          f"{result.is_monotone_along_axis(0)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Quickstart: train CDBTune offline and serve one tuning request.
+
+Mirrors the paper's workflow end to end (§2.1):
+
+1. cold-start offline training against a standard Sysbench workload on a
+   simulated CDB-A instance (8 GB RAM / 100 GB disk);
+2. an online tuning request: 5 recommendation steps, best config wins;
+3. a look at what the recommendation actually changed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CDB_A, CDBTune
+
+INTERESTING_KNOBS = [
+    "innodb_buffer_pool_size",
+    "innodb_log_file_size",
+    "innodb_flush_log_at_trx_commit",
+    "innodb_io_capacity",
+    "innodb_io_capacity_max",
+    "innodb_thread_concurrency",
+    "max_connections",
+]
+
+
+def main() -> None:
+    tuner = CDBTune(seed=7)
+
+    print("=== offline training (cold start on sysbench read-write) ===")
+    training = tuner.offline_train(CDB_A, "sysbench-rw", max_steps=800,
+                                   probe_every=50, stop_on_convergence=False)
+    print(f"steps: {training.steps}, episodes: {training.episodes}, "
+          f"crashes survived: {training.crashes}")
+    if training.best_probe is not None:
+        print(f"best greedy probe: {training.best_probe.throughput:.0f} txn/s "
+              f"@ {training.best_probe.latency:.0f} ms p99")
+
+    print("\n=== online tuning request (5 steps, like the paper) ===")
+    run = tuner.tune(CDB_A, "sysbench-rw", steps=5)
+    print(f"initial:    {run.initial.throughput:8.0f} txn/s   "
+          f"{run.initial.latency:8.0f} ms p99")
+    print(f"recommended:{run.best.throughput:8.0f} txn/s   "
+          f"{run.best.latency:8.0f} ms p99")
+    print(f"throughput +{run.throughput_improvement * 100:.0f} %, "
+          f"latency -{run.latency_improvement * 100:.0f} %")
+
+    print("\n=== recommended knob values (selection) ===")
+    defaults = tuner.db_registry.defaults()
+    for name in INTERESTING_KNOBS:
+        default = defaults[name]
+        recommended = run.best_config[name]
+        print(f"{name:34s} {default:>16.0f} -> {recommended:>16.0f}")
+
+    print("\n=== deployable commands (first 5) ===")
+    recommendation = tuner.recommender.from_config(run.best_config)
+    for command in recommendation.commands[:5]:
+        print(" ", command)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""CDBTune reproduction.
+
+An end-to-end automatic cloud database tuning system using deep
+reinforcement learning (Zhang et al., SIGMOD 2019), rebuilt as a pure-Python
+library: a from-scratch numpy neural-network stack (:mod:`repro.nn`), the
+DDPG/DQN/Q-learning algorithms and reward functions (:mod:`repro.rl`), a
+simulated MySQL-style cloud database with 266 knobs and 63 metrics
+(:mod:`repro.dbsim`), the tuning system itself (:mod:`repro.core`), the
+OtterTune / BestConfig / DBA baselines (:mod:`repro.baselines`), and
+experiment drivers for every table and figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import CDBTune, CDB_A
+
+    tuner = CDBTune(seed=7)
+    tuner.offline_train(CDB_A, "sysbench-rw", max_steps=200)
+    result = tuner.tune(CDB_A, "sysbench-rw", steps=5)
+    print(result.best.throughput, result.best.latency)
+"""
+
+from .core.tuner import CDBTune
+from .core.pipeline import TrainingResult, TuningResult
+from .dbsim.hardware import CDB_A, CDB_B, CDB_C, CDB_D, CDB_E, cdb_x1, cdb_x2
+from .dbsim.workload import get_workload
+from .dbsim.engine import SimulatedDatabase
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CDBTune",
+    "TrainingResult",
+    "TuningResult",
+    "CDB_A",
+    "CDB_B",
+    "CDB_C",
+    "CDB_D",
+    "CDB_E",
+    "cdb_x1",
+    "cdb_x2",
+    "get_workload",
+    "SimulatedDatabase",
+    "__version__",
+]

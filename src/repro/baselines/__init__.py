@@ -1,0 +1,34 @@
+"""Tuning baselines the paper compares against (§5, §6).
+
+OtterTune (GP pipeline), OtterTune-with-deep-learning (Figure 1), BestConfig
+(search), a rule-based expert DBA, and random search — all driving the same
+black-box ``database.evaluate(config)`` interface as CDBTune.
+"""
+
+from .base import BaseTuner, TuneOutcome, performance_score, safe_evaluate
+from .gp import GaussianProcess
+from .lasso import lasso_coordinate_descent, lasso_rank_knobs
+from .ottertune import OtterTune, WorkloadRepository
+from .ottertune_dl import OtterTuneDL
+from .bestconfig import BestConfig
+from .ituned import ITuned
+from .dba import DBATuner, dba_rule_config
+from .random_search import RandomSearch
+
+__all__ = [
+    "BaseTuner",
+    "TuneOutcome",
+    "performance_score",
+    "safe_evaluate",
+    "GaussianProcess",
+    "lasso_coordinate_descent",
+    "lasso_rank_knobs",
+    "OtterTune",
+    "WorkloadRepository",
+    "OtterTuneDL",
+    "BestConfig",
+    "ITuned",
+    "DBATuner",
+    "dba_rule_config",
+    "RandomSearch",
+]

@@ -1,0 +1,196 @@
+"""Rule-based expert DBA tuner.
+
+Stands in for the paper's three Tencent DBA experts (12 years of MySQL
+tuning each).  The rules are the standard playbook an experienced MySQL DBA
+applies after workload analysis:
+
+* buffer pool ≈ 70–75 % of RAM, instances ≈ 1/GB up to 8;
+* redo log sized for sustained writes (1–2 GB × 2–4 files), capped well
+  below the disk limit;
+* durability relaxed to ``flush_log_at_trx_commit = 2`` on write-heavy
+  cloud replicas; ``sync_binlog = 0``;
+* I/O thread pools and ``io_capacity`` matched to the workload mix
+  (§5.2.3: read threads up for RO, write/purge threads up for WO/RW);
+* ``thread_concurrency`` a small multiple of the core count;
+* session buffers raised for OLAP sorts, kept modest for OLTP.
+
+The DBA then tries a handful of refinements (the paper's experts spent
+~8.6 h per request doing exactly this) and keeps the best.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from .base import BaseTuner, TuneOutcome, performance_score, safe_evaluate
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.hardware import HardwareSpec
+from ..dbsim.knobs import KnobRegistry
+from ..dbsim.workload import WorkloadSpec
+from ..rl.reward import PerformanceSample
+
+__all__ = ["DBATuner", "dba_rule_config"]
+
+GIB = 1024 ** 3
+MIB = 1024 ** 2
+
+
+def dba_rule_config(hardware: HardwareSpec,
+                    workload: WorkloadSpec) -> Dict[str, float]:
+    """The expert rule book, in canonical (MySQL) knob names."""
+    ram_gb = hardware.ram_gb
+    config: Dict[str, float] = {}
+
+    # Memory: leave headroom for sessions and the OS.
+    pool_gb = max(0.5, ram_gb * 0.70)
+    config["innodb_buffer_pool_size"] = pool_gb * GIB
+    config["innodb_buffer_pool_instances"] = int(np.clip(pool_gb, 1, 8))
+    config["key_buffer_size"] = 16 * MIB
+    config["query_cache_size"] = 0.0
+    config["query_cache_type"] = 0
+
+    # Redo log: size for the write rate, never near the disk limit.
+    if workload.write_frac >= 0.5:
+        log_file_gb = min(4.0, hardware.disk_gb / 16.0)
+    elif workload.write_frac > 0.05:
+        log_file_gb = min(2.0, hardware.disk_gb / 32.0)
+    else:
+        log_file_gb = min(0.5, hardware.disk_gb / 64.0)
+    config["innodb_log_file_size"] = max(64 * MIB, log_file_gb * GIB)
+    config["innodb_log_files_in_group"] = 2
+    config["innodb_log_buffer_size"] = 64 * MIB
+    config["innodb_flush_log_at_trx_commit"] = (
+        2 if workload.write_frac > 0.05 else 0)
+    config["sync_binlog"] = 0
+
+    # I/O: match thread pools and IOPS budget to the mix and medium.
+    disk_iops = hardware.disk.iops
+    # Conservative IOPS budgeting (the standard playbook leaves headroom
+    # for foreground reads rather than saturating the device).
+    config["innodb_io_capacity"] = float(np.clip(disk_iops * 0.35, 200, 20000))
+    config["innodb_io_capacity_max"] = float(
+        np.clip(disk_iops * 0.7, 2000, 40000))
+    if workload.read_frac >= 0.9:
+        config["innodb_read_io_threads"] = 16
+        config["innodb_write_io_threads"] = 4
+        config["innodb_purge_threads"] = 1
+    elif workload.write_frac >= 0.9:
+        config["innodb_read_io_threads"] = 4
+        config["innodb_write_io_threads"] = 16
+        config["innodb_purge_threads"] = 8
+    else:
+        config["innodb_read_io_threads"] = 8
+        config["innodb_write_io_threads"] = 8
+        config["innodb_purge_threads"] = 4
+    config["innodb_flush_method"] = 2  # O_DIRECT
+    config["innodb_flush_neighbors"] = 0 if hardware.medium != "hdd" else 1
+    config["innodb_max_dirty_pages_pct"] = 75.0
+    config["innodb_lru_scan_depth"] = 2048
+
+    # Concurrency: cap engine threads near the core sweet spot.
+    config["max_connections"] = float(max(500, workload.threads * 2))
+    config["innodb_thread_concurrency"] = hardware.cores * 6
+    config["thread_cache_size"] = float(min(workload.threads, 1024))
+    config["back_log"] = 512
+    config["table_open_cache"] = 4000
+
+    # Session buffers: generous for OLAP, modest for OLTP.
+    if workload.kind == "olap":
+        config["sort_buffer_size"] = 64 * MIB
+        config["join_buffer_size"] = 64 * MIB
+        config["read_buffer_size"] = 8 * MIB
+        config["read_rnd_buffer_size"] = 16 * MIB
+        config["tmp_table_size"] = 1024 * MIB
+        config["max_heap_table_size"] = 1024 * MIB
+    else:
+        config["sort_buffer_size"] = 2 * MIB
+        config["join_buffer_size"] = 2 * MIB
+        config["read_buffer_size"] = 512 * 1024
+        config["read_rnd_buffer_size"] = 1 * MIB
+        config["tmp_table_size"] = 64 * MIB
+        config["max_heap_table_size"] = 64 * MIB
+    return config
+
+
+class DBATuner(BaseTuner):
+    """Expert-rule tuner with a few manual refinement trials."""
+
+    name = "DBA"
+
+    def __init__(self, registry: KnobRegistry,
+                 adapter: Mapping[str, str] | None = None) -> None:
+        self.registry = registry
+        # For non-MySQL engines the DBA thinks in canonical terms and
+        # translates; invert the engine adapter to map canonical → native.
+        self._from_canonical = (
+            {canonical: native for native, canonical in adapter.items()}
+            if adapter else None)
+        self._trial = 0
+
+    def recommend(self, hardware: HardwareSpec,
+                  workload: WorkloadSpec) -> Dict[str, float]:
+        """One expert configuration in this registry's knob names."""
+        canonical = dba_rule_config(hardware, workload)
+        if self._from_canonical is None:
+            config = {k: v for k, v in canonical.items() if k in self.registry}
+        else:
+            config = {
+                self._from_canonical[k]: v
+                for k, v in canonical.items() if k in self._from_canonical
+            }
+        return self.registry.validate(config)
+
+    def _refinements(self, base: Dict[str, float],
+                     hardware: HardwareSpec,
+                     workload: WorkloadSpec) -> List[Dict[str, float]]:
+        """The handful of what-if variants a DBA tries before signing off."""
+        variants: List[Dict[str, float]] = []
+
+        def canonical_set(config: Dict[str, float], name: str,
+                          value: float) -> None:
+            if self._from_canonical is not None:
+                name = self._from_canonical.get(name, "")
+            if name in self.registry:
+                config[name] = value
+
+        for pool_frac in (0.6, 0.8):
+            variant = dict(base)
+            canonical_set(variant, "innodb_buffer_pool_size",
+                          hardware.ram_gb * pool_frac * GIB)
+            variants.append(variant)
+        variant = dict(base)
+        canonical_set(variant, "innodb_flush_log_at_trx_commit", 0)
+        variants.append(variant)
+        variant = dict(base)
+        canonical_set(variant, "innodb_thread_concurrency", hardware.cores * 3)
+        variants.append(variant)
+        variant = dict(base)
+        canonical_set(variant, "innodb_io_capacity_max",
+                      min(hardware.disk.iops, 40000))
+        variants.append(variant)
+        return [self.registry.validate(v) for v in variants]
+
+    def tune(self, database: SimulatedDatabase, budget: int = 6) -> TuneOutcome:
+        """Rule config plus up to ``budget - 1`` refinement trials."""
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        history: List[Tuple[Dict[str, float], PerformanceSample | None]] = []
+        initial = safe_evaluate(database, database.default_config(),
+                                trial=self._next_trial())
+        if initial is None:
+            raise RuntimeError("default configuration crashed the database")
+
+        base = self.recommend(database.hardware, database.workload)
+        history.append((base, safe_evaluate(database, base,
+                                            trial=self._next_trial())))
+        for variant in self._refinements(base, database.hardware,
+                                         database.workload)[: budget - 1]:
+            history.append((variant, safe_evaluate(database, variant,
+                                                   trial=self._next_trial())))
+        return self._outcome(database, history, initial)
+
+    def _next_trial(self) -> int:
+        self._trial += 1
+        return self._trial

@@ -1,0 +1,115 @@
+"""Gaussian-process regression, from scratch.
+
+OtterTune's recommendation stage models performance as a GP over the knob
+space and picks the next configuration by maximizing an upper-confidence
+acquisition.  This implementation provides exactly that: an RBF-kernel GP
+with observation noise, fitted by Cholesky decomposition, with analytic
+mean-gradient for gradient-ascent recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["GaussianProcess"]
+
+
+class GaussianProcess:
+    """GP regression with an RBF kernel ``k(x,y) = σ_f² exp(-|x-y|²/2ℓ²)``.
+
+    Inputs are expected in ``[0, 1]^d`` (normalized knob vectors); targets
+    are standardized internally so the prior mean matches the sample mean.
+    """
+
+    def __init__(self, length_scale: float = 0.3, signal_variance: float = 1.0,
+                 noise_variance: float = 1e-3) -> None:
+        if length_scale <= 0 or signal_variance <= 0 or noise_variance <= 0:
+            raise ValueError("kernel hyper-parameters must be positive")
+        self.length_scale = float(length_scale)
+        self.signal_variance = float(signal_variance)
+        self.noise_variance = float(noise_variance)
+        self._x: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # -- kernel -----------------------------------------------------------
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = (
+            np.sum(a ** 2, axis=1)[:, None]
+            + np.sum(b ** 2, axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        return self.signal_variance * np.exp(
+            -0.5 * np.maximum(sq, 0.0) / self.length_scale ** 2)
+
+    # -- fitting -------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a GP with zero samples")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_standardized = (y - self._y_mean) / self._y_std
+        kernel = self._kernel(x, x)
+        kernel[np.diag_indices_from(kernel)] += self.noise_variance
+        self._chol = np.linalg.cholesky(kernel)
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, y_standardized))
+        self._x = x
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        return 0 if self._x is None else int(self._x.shape[0])
+
+    # -- prediction ---------------------------------------------------------
+    def predict(self, x: np.ndarray,
+                return_std: bool = False) -> np.ndarray | tuple:
+        if self._x is None or self._alpha is None or self._chol is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        k_star = self._kernel(x, self._x)
+        mean = k_star @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = np.linalg.solve(self._chol, k_star.T)
+        var = self.signal_variance - np.sum(v ** 2, axis=0)
+        std = np.sqrt(np.maximum(var, 1e-12)) * self._y_std
+        return mean, std
+
+    def mean_gradient(self, x: np.ndarray) -> np.ndarray:
+        """∂mean/∂x at a single point (for gradient-ascent recommendation)."""
+        if self._x is None or self._alpha is None:
+            raise RuntimeError("mean_gradient called before fit")
+        x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+        k_star = self._kernel(x, self._x)  # (1, n)
+        diff = self._x - x                 # (n, d)
+        grad = (k_star.reshape(-1, 1) * diff).T @ self._alpha
+        return grad / self.length_scale ** 2 * self._y_std
+
+    def suggest(self, rng: np.random.Generator, dim: int,
+                n_candidates: int = 200, n_restarts: int = 5,
+                ascent_steps: int = 30, step_size: float = 0.05,
+                ucb_kappa: float = 1.5) -> np.ndarray:
+        """Next point to try: UCB over random candidates, refined by
+        gradient ascent on the posterior mean from the best starts."""
+        candidates = rng.random((n_candidates, dim))
+        mean, std = self.predict(candidates, return_std=True)
+        ucb = mean + ucb_kappa * std
+        order = np.argsort(ucb)[::-1]
+        best_x = candidates[order[0]]
+        best_val = -np.inf
+        for idx in order[:n_restarts]:
+            x = candidates[idx].copy()
+            for _ in range(ascent_steps):
+                x = np.clip(x + step_size * self.mean_gradient(x), 0.0, 1.0)
+            value = float(self.predict(x.reshape(1, -1))[0])
+            if value > best_val:
+                best_val = value
+                best_x = x
+        return best_x

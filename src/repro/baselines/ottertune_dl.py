@@ -1,0 +1,128 @@
+"""OtterTune-with-deep-learning baseline (Figure 1a/1b).
+
+The paper reproduces OtterTune and "improve[s] its pipelined model using
+deep learning": the GP regression stage is replaced by a neural-network
+performance regressor, but the pipeline (separately-trained stages,
+supervised regression on historical samples) is unchanged — which is why it
+still plateaus as samples grow.  Recommendation works by gradient ascent on
+the learned regressor with respect to the (normalized) knob vector.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .base import BaseTuner, TuneOutcome, performance_score, safe_evaluate
+from .ottertune import OtterTune
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.knobs import KnobRegistry
+from ..rl.reward import PerformanceSample
+from .. import nn
+
+__all__ = ["OtterTuneDL"]
+
+
+class _Regressor:
+    """Small MLP regressor with input-gradient access."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        self.net = nn.Sequential(
+            nn.Linear(dim, 64, rng=rng),
+            nn.ReLU(),
+            nn.Linear(64, 64, rng=rng),
+            nn.ReLU(),
+            nn.Linear(64, 1, rng=rng),
+        )
+        self.optimizer = nn.Adam(self.net.parameters(), lr=3e-3)
+        self.loss = nn.MSELoss()
+
+    def fit(self, x: np.ndarray, y: np.ndarray, epochs: int = 60,
+            batch_size: int = 32, rng: np.random.Generator | None = None) -> float:
+        rng = rng if rng is not None else np.random.default_rng()
+        y = y.reshape(-1, 1)
+        n = x.shape[0]
+        final_loss = 0.0
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start:start + batch_size]
+                prediction = self.net.forward(x[idx])
+                final_loss = self.loss(prediction, y[idx])
+                self.optimizer.zero_grad()
+                self.net.backward(self.loss.backward())
+                self.optimizer.step()
+        return final_loss
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.net.forward(np.atleast_2d(x)).reshape(-1)
+
+    def input_gradient(self, x: np.ndarray) -> np.ndarray:
+        """d prediction / d input at one point."""
+        out = self.net.forward(x.reshape(1, -1))
+        return self.net.backward(np.ones_like(out)).reshape(-1)
+
+
+class OtterTuneDL(OtterTune):
+    """OtterTune with the GP stage swapped for a neural regressor."""
+
+    name = "OtterTune-DL"
+
+    def tune(self, database: SimulatedDatabase, budget: int = 11) -> TuneOutcome:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        history: List[Tuple[Dict[str, float], PerformanceSample | None]] = []
+        initial_obs = database.evaluate(database.default_config(),
+                                        trial=self._next_trial())
+        initial = initial_obs.performance
+
+        mapped = self.repository.map_workload(initial_obs.metrics)
+        if mapped is not None and self.repository.size(mapped) >= 5:
+            ranked = self.rank_knobs(mapped)
+            x_all, _m, y_all = self.repository.samples(mapped)
+        else:
+            ranked = list(self.registry.tunable_names)
+            x_all = np.empty((0, self.registry.n_tunable))
+            y_all = np.empty(0)
+
+        top = ranked[: self.top_knobs]
+        top_idx = [self.registry.tunable_names.index(n) for n in top]
+        xs = list(x_all[:, top_idx]) if x_all.size else []
+        ys = list(y_all) if y_all.size else []
+        default_vector = self.registry.to_vector(database.default_config(),
+                                                 strict=False)
+
+        for _ in range(budget):
+            if len(xs) >= 8:
+                regressor = _Regressor(len(top_idx), self.rng)
+                regressor.fit(np.stack(xs), np.asarray(ys), rng=self.rng)
+                suggestion = self._ascend(regressor, len(top_idx))
+            else:
+                suggestion = self.rng.random(len(top_idx))
+            vector = default_vector.copy()
+            vector[top_idx] = suggestion
+            config = self.registry.from_vector(vector)
+            perf = safe_evaluate(database, config, trial=self._next_trial())
+            history.append((config, perf))
+            score = -1.0 if perf is None else performance_score(perf, initial)
+            xs.append(suggestion)
+            ys.append(score)
+
+        return self._outcome(database, history, initial)
+
+    def _ascend(self, regressor: _Regressor, dim: int,
+                n_restarts: int = 5, steps: int = 40,
+                step_size: float = 0.05) -> np.ndarray:
+        best_x = self.rng.random(dim)
+        best_val = -np.inf
+        for _ in range(n_restarts):
+            x = self.rng.random(dim)
+            for _ in range(steps):
+                x = np.clip(x + step_size * regressor.input_gradient(x),
+                            0.0, 1.0)
+            value = float(regressor.predict(x)[0])
+            if value > best_val:
+                best_val = value
+                best_x = x
+        return best_x

@@ -1,0 +1,127 @@
+"""The controller (§2.2, Figure 2).
+
+"The controller under [the] distributed cloud platform interacts
+information among the client, CDB and CDBTune."  It is the piece that:
+
+* accepts **training requests** from the DBA and **tuning requests** from
+  users;
+* drives the workload generator (stress testing / replay) against the
+  target instance;
+* asks for the DBA's or user's **license** before deploying a recommended
+  configuration (§2.2.3);
+* keeps a request log for operations.
+
+The controller is deliberately thin — policy lives in
+:class:`~repro.core.tuner.CDBTune` — but it gives the system the same
+request lifecycle as the paper's deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from .generator import WorkloadGenerator
+from .pipeline import TrainingResult, TuningResult
+from .recommender import Recommendation
+from .tuner import CDBTune
+from ..dbsim.hardware import HardwareSpec
+from ..dbsim.workload import WorkloadSpec, get_workload
+
+__all__ = ["RequestRecord", "Controller"]
+
+#: Called before deployment with the recommendation; returns approval.
+LicenseCallback = Callable[[Recommendation], bool]
+
+
+@dataclass
+class RequestRecord:
+    """One controller request, for the operations log."""
+
+    kind: str                   # "training" | "tuning"
+    hardware: str
+    workload: str
+    steps: int
+    improved_throughput: float | None = None
+    deployed: bool | None = None
+
+
+@dataclass
+class TuningOutcome:
+    """What a tuning request returned to the client."""
+
+    result: TuningResult
+    recommendation: Recommendation
+    deployed: bool
+
+
+class Controller:
+    """Mediates client requests, the CDB instance and the tuning system.
+
+    Parameters
+    ----------
+    tuner:
+        The (shared, long-lived) CDBTune model; trained once, reused for
+        every request, updated incrementally.
+    license_callback:
+        Deployment approval hook — the paper deploys only "after acquiring
+        the DBA's or user's license".  Defaults to always-approve.
+    """
+
+    def __init__(self, tuner: CDBTune,
+                 license_callback: LicenseCallback | None = None) -> None:
+        self.tuner = tuner
+        self.generator = WorkloadGenerator(noise=tuner.noise,
+                                           seed=tuner.seed)
+        self.license_callback = license_callback or (lambda _rec: True)
+        self.log: List[RequestRecord] = []
+
+    # -- DBA-side ---------------------------------------------------------------
+    def training_request(self, hardware: HardwareSpec,
+                         workload: WorkloadSpec | str,
+                         **train_kwargs) -> TrainingResult:
+        """DBA-initiated offline training on a standard workload (§2.1.1)."""
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        result = self.tuner.offline_train(hardware, workload, **train_kwargs)
+        self.log.append(RequestRecord(
+            kind="training", hardware=hardware.name, workload=workload.name,
+            steps=result.steps))
+        return result
+
+    # -- user-side ----------------------------------------------------------------
+    def tuning_request(self, hardware: HardwareSpec,
+                       workload: WorkloadSpec | str, steps: int = 5,
+                       current_config: Dict[str, float] | None = None,
+                       **tune_kwargs) -> TuningOutcome:
+        """User-initiated online tuning (§2.1.2).
+
+        Captures/replays the user's workload, runs at most ``steps``
+        recommendations, asks for the license, and reports what (if
+        anything) was deployed.
+        """
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        if not self.tuner.trained:
+            raise RuntimeError(
+                "no offline-trained model; submit a training request first")
+        result = self.tuner.tune(hardware, workload, steps=steps,
+                                 initial_config=current_config,
+                                 **tune_kwargs)
+        recommendation = self.tuner.recommender.from_config(
+            result.best_config)
+        deployed = bool(self.license_callback(recommendation))
+        self.log.append(RequestRecord(
+            kind="tuning", hardware=hardware.name, workload=workload.name,
+            steps=steps,
+            improved_throughput=result.throughput_improvement,
+            deployed=deployed))
+        return TuningOutcome(result=result, recommendation=recommendation,
+                             deployed=deployed)
+
+    # -- operations -----------------------------------------------------------------
+    def request_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.log:
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts

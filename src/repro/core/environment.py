@@ -1,0 +1,157 @@
+"""Gym-style tuning environment (Figure 3's RL ↔ CDB correspondence).
+
+* **Environment** — a :class:`~repro.dbsim.engine.SimulatedDatabase` instance.
+* **State** — the 63 internal metrics after a stress test.
+* **Action** — a vector in ``[0, 1]^m``, one entry per tunable knob of the
+  environment's registry (possibly a subset for the Figures 6–8 sweeps).
+* **Reward** — computed by a pluggable §4.2 reward function from throughput
+  and latency; crashes (§5.2.3) yield the crash penalty and the episode
+  continues from a restarted (default-config) instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..dbsim.engine import DatabaseObservation, SimulatedDatabase
+from ..dbsim.errors import DatabaseCrashError
+from ..dbsim.knobs import KnobRegistry
+from ..rl.reward import CDBTuneReward, PerformanceSample, RewardFunction
+
+__all__ = ["StepResult", "TuningEnvironment"]
+
+
+@dataclass
+class StepResult:
+    """Outcome of applying one recommended configuration."""
+
+    state: np.ndarray               # 63 raw internal metrics
+    reward: float
+    performance: PerformanceSample | None  # None when the instance crashed
+    crashed: bool
+    config: Dict[str, float]        # physical configuration applied
+    info: Dict[str, float] = field(default_factory=dict)
+
+
+class TuningEnvironment:
+    """Wraps a simulated database as an RL environment.
+
+    ``action_registry`` defaults to the database's registry; pass a subset
+    registry to tune fewer knobs (un-tuned knobs stay at their defaults).
+    """
+
+    def __init__(self, database: SimulatedDatabase,
+                 action_registry: KnobRegistry | None = None,
+                 reward_function: RewardFunction | None = None) -> None:
+        self.database = database
+        self.action_registry = (action_registry if action_registry is not None
+                                else database.registry)
+        missing = [n for n in self.action_registry.names
+                   if n not in database.registry]
+        if missing:
+            raise KeyError(f"action knobs unknown to the database: {missing}")
+        self.reward_function = (reward_function if reward_function is not None
+                                else CDBTuneReward())
+        self._trial = 0
+        self.initial_performance: PerformanceSample | None = None
+        self.best_performance: PerformanceSample | None = None
+        self.best_config: Dict[str, float] | None = None
+        self.steps = 0
+        self.crashes = 0
+        self.history: List[StepResult] = []
+
+    @property
+    def state_dim(self) -> int:
+        return 63
+
+    @property
+    def action_dim(self) -> int:
+        return self.action_registry.n_tunable
+
+    # -- episode control ---------------------------------------------------
+    def reset(self, initial_config: Dict[str, float] | None = None) -> np.ndarray:
+        """Start an episode from ``initial_config`` (default: vendor defaults).
+
+        Runs one stress test to establish the reward baseline (the paper's
+        "performance before tuning", T₀/L₀) and returns the initial state.
+        """
+        config = dict(self.database.default_config())
+        if initial_config is not None:
+            config.update(self.database.registry.validate(initial_config))
+        self._trial += 1
+        observation = self.database.evaluate(config, trial=self._trial)
+        self.reward_function.reset(observation.performance)
+        self.initial_performance = observation.performance
+        self.best_performance = observation.performance
+        self.best_config = config
+        self.history.clear()
+        self._current_config = config
+        return observation.metrics
+
+    def step(self, action: np.ndarray) -> StepResult:
+        """Deploy the knob vector, stress-test, and score the outcome."""
+        if self.initial_performance is None:
+            raise RuntimeError("call reset() before step()")
+        action = np.asarray(action, dtype=np.float64).reshape(-1)
+        if action.size != self.action_dim:
+            raise ValueError(
+                f"expected action of dim {self.action_dim}, got {action.size}"
+            )
+        config = self.action_registry.from_vector(
+            action, base=self.database.default_config())
+        self._trial += 1
+        self.steps += 1
+        try:
+            observation: DatabaseObservation | None = self.database.evaluate(
+                config, trial=self._trial)
+        except DatabaseCrashError:
+            observation = None
+            self.crashes += 1
+
+        if observation is None:
+            reward = self.reward_function(None)
+            # The controller restarts the instance with defaults; the next
+            # state the agent sees is the restarted instance's state.
+            restart = self.database.evaluate(self.database.default_config(),
+                                             trial=self._trial)
+            result = StepResult(state=restart.metrics, reward=reward,
+                                performance=None, crashed=True, config=config)
+        else:
+            reward = self.reward_function(observation.performance)
+            if self._is_better(observation.performance):
+                self.best_performance = observation.performance
+                self.best_config = config
+            result = StepResult(state=observation.metrics, reward=reward,
+                                performance=observation.performance,
+                                crashed=False, config=config,
+                                info={"hit_ratio": observation.snapshot.hit_ratio})
+        self.history.append(result)
+        self._current_config = config
+        return result
+
+    def best_action_vector(self) -> np.ndarray:
+        """The best-so-far configuration as a normalized action vector."""
+        if self.best_config is None:
+            raise RuntimeError("no episode has produced a configuration yet")
+        return self.action_registry.to_vector(self.best_config)
+
+    def _is_better(self, perf: PerformanceSample) -> bool:
+        """Paper's selection rule: the recommendation with the best
+        performance wins; we score throughput and latency improvements
+        against the episode's initial performance, weighted like Eq. 7."""
+        best = self.best_performance
+        if best is None:
+            return True
+        base = self.initial_performance
+        assert base is not None
+
+        def score(p: PerformanceSample) -> float:
+            return (self.reward_function.c_throughput
+                    * (p.throughput - base.throughput) / max(base.throughput, 1e-9)
+                    + self.reward_function.c_latency
+                    * (base.latency - p.latency) / max(base.latency, 1e-9))
+
+        return score(perf) > score(best)

@@ -1,0 +1,77 @@
+"""Workload generator (§2.2.1).
+
+Two jobs, mirroring the paper:
+
+* **Standard workload testing** for cold-start offline training — generate
+  stress tests from standard benchmark specs (Sysbench/TPC/YCSB).
+* **Replay** for online tuning — capture the user's recent workload
+  (~150 s of SQL in the paper; a :class:`WorkloadSpec` fingerprint here)
+  and re-execute it against the instance so the model fine-tunes on the
+  real behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.hardware import HardwareSpec
+from ..dbsim.knobs import KnobRegistry
+from ..dbsim.workload import WorkloadSpec, get_workload
+
+__all__ = ["WorkloadCapture", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadCapture:
+    """A recorded slice of a user's workload, ready for replay."""
+
+    workload: WorkloadSpec
+    duration_s: float = 150.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+
+class WorkloadGenerator:
+    """Builds stress-test databases for training and replay for tuning."""
+
+    def __init__(self, noise: float = 0.015, seed: int = 0) -> None:
+        self.noise = float(noise)
+        self.seed = int(seed)
+
+    def standard(self, hardware: HardwareSpec, workload: WorkloadSpec | str,
+                 registry: KnobRegistry | None = None) -> SimulatedDatabase:
+        """A database under a standard benchmark workload (cold start)."""
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        return SimulatedDatabase(hardware, workload, registry=registry,
+                                 noise=self.noise, seed=self.seed)
+
+    def capture(self, database: SimulatedDatabase,
+                duration_s: float = 150.0) -> WorkloadCapture:
+        """Record the user's current workload for later replay (§2.1.2)."""
+        return WorkloadCapture(workload=database.workload,
+                               duration_s=duration_s)
+
+    def replay(self, capture: WorkloadCapture, hardware: HardwareSpec,
+               registry: KnobRegistry | None = None) -> SimulatedDatabase:
+        """Re-execute a captured workload under the same environment."""
+        return SimulatedDatabase(hardware, capture.workload,
+                                 registry=registry, noise=self.noise,
+                                 seed=self.seed + 1)
+
+    def training_suite(self, hardware: HardwareSpec,
+                       workloads: List[WorkloadSpec | str] | None = None,
+                       registry: KnobRegistry | None = None,
+                       ) -> Dict[str, SimulatedDatabase]:
+        """Databases for each standard workload, for offline pre-training."""
+        if workloads is None:
+            workloads = ["sysbench-ro", "sysbench-wo", "sysbench-rw"]
+        suite: Dict[str, SimulatedDatabase] = {}
+        for workload in workloads:
+            database = self.standard(hardware, workload, registry=registry)
+            suite[database.workload.name] = database
+        return suite

@@ -1,0 +1,69 @@
+"""Memory pool (§2.2.4): the experience replay memory of CDBTune.
+
+"Like the DBA's brain, it constantly accumulates data and replay[s]
+experience."  Each sample is a transition ``(s_t, r_t, a_t, s_{t+1})``; the
+pool also records which workload produced each sample so incremental
+training (§2.1.1) can mix cold-start and user-request data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..rl.replay import Batch, PrioritizedReplayMemory, ReplayMemory, Transition
+
+__all__ = ["MemoryPool"]
+
+
+@dataclass(frozen=True)
+class _Provenance:
+    workload: str
+    source: str  # "cold-start" | "user-request"
+
+
+class MemoryPool:
+    """Replay memory plus sample provenance accounting."""
+
+    def __init__(self, capacity: int = 100_000, prioritized: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        if prioritized:
+            self.memory: ReplayMemory | PrioritizedReplayMemory = (
+                PrioritizedReplayMemory(capacity, rng=rng))
+        else:
+            self.memory = ReplayMemory(capacity, rng=rng)
+        self._provenance: List[_Provenance] = []
+
+    def add(self, state: np.ndarray, action: np.ndarray, reward: float,
+            next_state: np.ndarray, done: bool = False,
+            workload: str = "unknown", source: str = "cold-start") -> None:
+        if source not in ("cold-start", "user-request"):
+            raise ValueError(f"unknown source {source!r}")
+        self.memory.push(Transition(
+            state=np.asarray(state, dtype=np.float64),
+            action=np.asarray(action, dtype=np.float64),
+            reward=float(reward),
+            next_state=np.asarray(next_state, dtype=np.float64),
+            done=bool(done),
+        ))
+        self._provenance.append(_Provenance(workload=workload, source=source))
+
+    def sample(self, batch_size: int) -> Batch:
+        return self.memory.sample(batch_size)
+
+    def __len__(self) -> int:
+        return len(self.memory)
+
+    def counts_by_source(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._provenance:
+            counts[record.source] = counts.get(record.source, 0) + 1
+        return counts
+
+    def counts_by_workload(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._provenance:
+            counts[record.workload] = counts.get(record.workload, 0) + 1
+        return counts

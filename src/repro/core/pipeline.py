@@ -1,0 +1,364 @@
+"""Offline training and online tuning pipelines (§2.1).
+
+* **Offline training** — cold start from standard workloads: episodes of
+  try-and-error steps feed the memory pool; the model converges when "the
+  performance change between two steps does not exceed 0.5 % in five
+  consecutive steps" (Appendix C.1.1), measured on noise-free greedy probes.
+* **Online tuning** — for a user request: replay the workload, start from
+  the user's current knobs, run at most 5 recommendation steps (§2.1.2)
+  while fine-tuning the pre-trained model, and return the configuration
+  with the best observed performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .environment import StepResult, TuningEnvironment
+from ..rl.ddpg import DDPGAgent
+from ..rl.reward import PerformanceSample
+
+__all__ = [
+    "TrainingResult",
+    "TuningResult",
+    "offline_train",
+    "online_tune",
+]
+
+CONVERGENCE_THRESHOLD = 0.005   # paper: 0.5 % change
+CONVERGENCE_WINDOW = 5          # over five consecutive probes
+
+
+@dataclass
+class TrainingResult:
+    """Offline-training trace."""
+
+    steps: int
+    episodes: int
+    converged: bool
+    iterations_to_convergence: int | None
+    rewards: List[float] = field(default_factory=list)
+    probe_throughputs: List[float] = field(default_factory=list)
+    probe_latencies: List[float] = field(default_factory=list)
+    crashes: int = 0
+    best_probe: PerformanceSample | None = None
+
+    @property
+    def final_probe(self) -> PerformanceSample | None:
+        if not self.probe_throughputs:
+            return None
+        return PerformanceSample(throughput=self.probe_throughputs[-1],
+                                 latency=self.probe_latencies[-1])
+
+
+@dataclass
+class TuningResult:
+    """Online-tuning outcome for one request."""
+
+    initial: PerformanceSample
+    best: PerformanceSample
+    best_config: Dict[str, float]
+    steps: int
+    history: List[StepResult] = field(default_factory=list)
+
+    @property
+    def throughput_improvement(self) -> float:
+        return (self.best.throughput - self.initial.throughput) / max(
+            self.initial.throughput, 1e-9)
+
+    @property
+    def latency_improvement(self) -> float:
+        return (self.initial.latency - self.best.latency) / max(
+            self.initial.latency, 1e-9)
+
+
+def _greedy_probe(env: TuningEnvironment, agent: DDPGAgent) -> StepResult:
+    """One noise-free recommendation from the episode's initial state."""
+    state = env.reset()
+    _update_normalizer(agent, state)
+    action = agent.act(state, explore=False)
+    return env.step(action)
+
+
+def _update_normalizer(agent: DDPGAgent, state: np.ndarray) -> None:
+    if agent.state_normalizer is not None:
+        agent.state_normalizer.update(state.reshape(1, -1))
+
+
+def _latin_hypercube(rng: np.random.Generator, n: int, dim: int) -> np.ndarray:
+    """Stratified samples: each dimension's range covered once per block."""
+    samples = np.empty((n, dim))
+    for j in range(dim):
+        perm = rng.permutation(n)
+        samples[:, j] = (perm + rng.random(n)) / n
+    return samples
+
+
+def offline_train(env: TuningEnvironment, agent: DDPGAgent,
+                  max_steps: int = 300, episode_length: int = 5,
+                  updates_per_step: int = 2, probe_every: int = 15,
+                  warmup_steps: int = 48, exploit_frac: float = 0.6,
+                  convergence_threshold: float = CONVERGENCE_THRESHOLD,
+                  convergence_window: int = CONVERGENCE_WINDOW,
+                  stop_on_convergence: bool = True,
+                  restore_best: bool = True) -> TrainingResult:
+    """Cold-start offline training (§2.1.1).
+
+    Runs try-and-error episodes against the standard-workload environment.
+    The first ``warmup_steps`` actions are latin-hypercube samples of the
+    knob space — the cold-start try-and-error phase that seeds the memory
+    pool with diverse samples before the policy takes over.  After warmup,
+    a fraction ``exploit_frac`` of actions perturb the best configuration
+    found so far (the DBA-style "adjust from the current best" move the
+    paper's try-and-error strategy describes); the rest come from the
+    policy plus exploration noise.  Every ``probe_every`` steps a greedy
+    probe measures policy quality; the paper's 0.5 %-over-5-probes rule
+    decides convergence.
+
+    With ``restore_best`` (default) the agent's weights are snapshotted at
+    every probe that sets a new best and restored at the end — standard
+    early-stopping model selection, guarding against late-training policy
+    drift.
+    """
+    if max_steps <= 0 or episode_length <= 0:
+        raise ValueError("max_steps and episode_length must be positive")
+    rewards: List[float] = []
+    probe_throughputs: List[float] = []
+    probe_latencies: List[float] = []
+    converged_at: int | None = None
+    episodes = 0
+    steps = 0
+    warmup_plan = _latin_hypercube(agent.rng, max(warmup_steps, 1),
+                                   env.action_dim)
+    # Best configuration seen across the whole run (env.best_config only
+    # spans one episode); this anchors the exploit-around-best moves.
+    global_best_vector: np.ndarray | None = None
+    global_best_score = -np.inf
+    exploit_moves = 0
+    focus_coords: np.ndarray | None = None  # critic's top-|∇aQ| knobs
+    best_score = -np.inf
+    best_probe: PerformanceSample | None = None
+    best_snapshot = None
+
+    def _maybe_snapshot(perf: PerformanceSample | None) -> None:
+        nonlocal best_score, best_probe, best_snapshot
+        if perf is None:
+            return
+        score = perf.throughput / max(perf.latency, 1e-9) ** 0.25
+        if score > best_score:
+            best_score = score
+            best_probe = perf
+            normalizer_state = (agent.state_normalizer.state_dict()
+                                if agent.state_normalizer is not None else None)
+            best_snapshot = (agent.state_dict(), normalizer_state)
+
+    def _distill(iterations: int = 400) -> None:
+        """Pull the actor onto the best configuration exploration found.
+
+        Policy-gradient absorption of a late-discovered optimum can lag the
+        step budget; distillation guarantees the returned policy emits the
+        best-known configuration (which online tuning then refines).
+        """
+        if global_best_vector is None:
+            return
+        loss = np.inf
+        for _ in range(iterations):
+            if len(agent.memory) < agent.config.batch_size:
+                break
+            batch = agent.memory.sample(agent.config.batch_size)
+            loss = agent.imitate(batch.states, global_best_vector, lr=2e-3)
+            if loss < 1e-4:
+                break
+        probe = _greedy_probe(env, agent)
+        if probe.performance is not None:
+            probe_throughputs.append(probe.performance.throughput)
+            probe_latencies.append(probe.performance.latency)
+            _maybe_snapshot(probe.performance)
+
+    def _finish(converged: bool) -> TrainingResult:
+        _distill()
+        if restore_best and best_snapshot is not None:
+            agent_state, normalizer_state = best_snapshot
+            agent.load_state_dict(agent_state)
+            if normalizer_state is not None and agent.state_normalizer is not None:
+                agent.state_normalizer.load_state_dict(normalizer_state)
+        return TrainingResult(
+            steps=steps, episodes=episodes, converged=converged,
+            iterations_to_convergence=converged_at, rewards=rewards,
+            probe_throughputs=probe_throughputs,
+            probe_latencies=probe_latencies, crashes=env.crashes,
+            best_probe=best_probe)
+
+    while steps < max_steps:
+        episodes += 1
+        state = env.reset()
+        _update_normalizer(agent, state)
+        agent.reset_noise()
+        for _ in range(episode_length):
+            if steps >= max_steps:
+                break
+            if steps < warmup_steps:
+                action = warmup_plan[steps]
+            elif (global_best_vector is not None
+                    and agent.rng.random() < exploit_frac):
+                # DBA-style move: adjust a handful of knobs of the best
+                # configuration (isotropic perturbation of all 266 knobs
+                # almost never improves a sharply-tuned config).  Half the
+                # moves pick coordinates by the critic's |∇_a Q| — the
+                # learned knob importance of §5.2.2 — and step along the
+                # gradient sign; the rest explore random coordinates.
+                action = global_best_vector.copy()
+                exploit_moves += 1
+                n_coords = int(agent.rng.integers(
+                    1, min(13, env.action_dim + 1)))
+                move_kind = agent.rng.random()
+                if move_kind < 0.5:
+                    # Line search.  Most probes target the knobs the critic
+                    # currently ranks important (|∇aQ|, the learned knob
+                    # importance of §5.2.2) so the impactful knobs get
+                    # several probes per run; the rest round-robin the full
+                    # catalog so nothing is starved.
+                    if exploit_moves % 40 == 0 and agent.train_steps > 0:
+                        grad = agent.action_gradient(state,
+                                                     global_best_vector)
+                        k = min(48, env.action_dim)
+                        focus_coords = np.argsort(np.abs(grad))[::-1][:k]
+                    if (focus_coords is not None
+                            and agent.rng.random() < 0.7):
+                        coord = int(agent.rng.choice(focus_coords))
+                    else:
+                        coord = exploit_moves % env.action_dim
+                    action[coord] = agent.rng.random()
+                elif move_kind < 0.75 and agent.train_steps > 0:
+                    grad = agent.action_gradient(state, action)
+                    order = np.argsort(np.abs(grad))[::-1]
+                    coords = order[:n_coords]
+                    step = (0.08 * np.sign(grad[coords])
+                            + 0.05 * agent.rng.standard_normal(n_coords))
+                    action[coords] = np.clip(action[coords] + step, 0.0, 1.0)
+                else:
+                    coords = agent.rng.choice(env.action_dim, size=n_coords,
+                                              replace=False)
+                    fresh = agent.rng.random(n_coords) < 0.3
+                    action[coords] = np.where(
+                        fresh,
+                        agent.rng.random(n_coords),
+                        np.clip(action[coords]
+                                + 0.2 * agent.rng.standard_normal(n_coords),
+                                0.0, 1.0))
+            else:
+                action = agent.act(state, explore=True)
+            result = env.step(action)
+            if result.performance is not None:
+                step_score = (result.performance.throughput
+                              / max(result.performance.latency, 1e-9) ** 0.25)
+                if step_score > global_best_score:
+                    global_best_score = step_score
+                    global_best_vector = action.copy()
+                    agent.best_known_action = action.copy()
+            _update_normalizer(agent, result.state)
+            agent.observe(state, action, result.reward, result.state,
+                          done=result.crashed)
+            for _ in range(updates_per_step):
+                agent.update()
+            if global_best_vector is not None and steps % 2 == 0:
+                agent.imitate(state, global_best_vector)
+            rewards.append(result.reward)
+            state = result.state
+            steps += 1
+
+            if steps % probe_every == 0:
+                probe = _greedy_probe(env, agent)
+                perf = probe.performance
+                if perf is None:  # greedy policy crashed the instance
+                    probe_throughputs.append(0.0)
+                    probe_latencies.append(float("inf"))
+                else:
+                    probe_throughputs.append(perf.throughput)
+                    probe_latencies.append(perf.latency)
+                _maybe_snapshot(perf)
+                if converged_at is None and _has_converged(
+                        probe_throughputs, convergence_threshold,
+                        convergence_window):
+                    converged_at = steps
+                    if stop_on_convergence:
+                        return _finish(True)
+
+    return _finish(converged_at is not None)
+
+
+def _has_converged(throughputs: List[float], threshold: float,
+                   window: int) -> bool:
+    if len(throughputs) < window + 1:
+        return False
+    recent = throughputs[-(window + 1):]
+    for prev, curr in zip(recent, recent[1:]):
+        if prev <= 0:
+            return False
+        if abs(curr - prev) / prev > threshold:
+            return False
+    return True
+
+
+def online_tune(env: TuningEnvironment, agent: DDPGAgent, steps: int = 5,
+                initial_config: Dict[str, float] | None = None,
+                fine_tune: bool = True, updates_per_step: int = 2,
+                explore: bool = False) -> TuningResult:
+    """Serve one tuning request (§2.1.2).
+
+    At most ``steps`` recommendations (the paper's maximum is 5); the best
+    performance observed wins.  With ``fine_tune`` the request's transitions
+    also update the model — the incremental training of §2.1.1.
+    """
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    state = env.reset(initial_config=initial_config)
+    _update_normalizer(agent, state)
+    assert env.initial_performance is not None
+    initial = env.initial_performance
+
+    best_known = agent.best_known_action
+    session_best = (best_known.copy() if best_known is not None
+                    and best_known.size == env.action_dim else None)
+    session_best_score = -np.inf
+    for step_index in range(steps):
+        if session_best is not None and step_index == 0:
+            # Measure the memory pool's best-known configuration first so
+            # the session baseline is real before anything can displace it.
+            action = session_best.copy()
+        elif session_best is not None and step_index >= 2:
+            # Greedy local refinement around the session's best so far —
+            # the fine-tuning the paper's accumulated trying steps perform.
+            action = session_best.copy()
+            coords = agent.rng.choice(env.action_dim,
+                                      size=min(4, env.action_dim),
+                                      replace=False)
+            action[coords] = np.clip(
+                action[coords]
+                + 0.08 * agent.rng.standard_normal(coords.size),
+                0.0, 1.0)
+        else:
+            action = agent.act(state, explore=explore)
+        result = env.step(action)
+        if result.performance is not None:
+            score = (result.performance.throughput
+                     / max(result.performance.latency, 1e-9) ** 0.25)
+            if score > session_best_score:
+                session_best_score = score
+                session_best = action.copy()
+        _update_normalizer(agent, result.state)
+        if fine_tune:
+            agent.observe(state, action, result.reward, result.state,
+                          done=result.crashed)
+            for _ in range(updates_per_step):
+                agent.update()
+        state = result.state
+
+    best = env.best_performance
+    best_config = env.best_config
+    assert best is not None and best_config is not None
+    return TuningResult(initial=initial, best=best, best_config=best_config,
+                        steps=steps, history=list(env.history))

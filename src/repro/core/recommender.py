@@ -1,0 +1,77 @@
+"""Recommender (§2.2.3): turns model output into deployable configurations.
+
+When the deep-RL model outputs a recommendation, the recommender generates
+the corresponding "SET GLOBAL"-style commands, enforces the knob blacklist
+(§5.2: path-like or dangerous knobs stay untouched) and hands the result to
+the controller for deployment after the user's license.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from ..dbsim.knobs import KnobRegistry, KnobType
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A deployable configuration with its execution commands."""
+
+    config: Dict[str, float]
+    commands: List[str]
+
+    def __len__(self) -> int:
+        return len(self.config)
+
+
+class Recommender:
+    """Decodes action vectors and renders configuration commands."""
+
+    def __init__(self, registry: KnobRegistry,
+                 blacklist: Iterable[str] = ()) -> None:
+        self.registry = registry
+        self.blacklist = set(blacklist)
+        unknown = self.blacklist - set(registry.names)
+        if unknown:
+            raise KeyError(f"blacklisted knobs not in registry: {sorted(unknown)}")
+
+    def from_action(self, action: np.ndarray,
+                    base: Dict[str, float] | None = None) -> Recommendation:
+        """Decode a ``[0, 1]^m`` action into a recommendation."""
+        config = self.registry.from_vector(action, base=base)
+        return self.from_config(config)
+
+    def from_config(self, config: Dict[str, float]) -> Recommendation:
+        """Sanitize a physical configuration: validate, apply the blacklist."""
+        config = self.registry.validate(config)
+        defaults = self.registry.defaults()
+        sanitized: Dict[str, float] = {}
+        for name, value in config.items():
+            spec = self.registry[name]
+            if name in self.blacklist or not spec.tunable:
+                sanitized[name] = defaults.get(name, spec.default)
+            else:
+                sanitized[name] = value
+        return Recommendation(config=sanitized,
+                              commands=self._render(sanitized))
+
+    def _render(self, config: Dict[str, float]) -> List[str]:
+        commands = []
+        for name, value in sorted(config.items()):
+            spec = self.registry[name]
+            if spec.knob_type == KnobType.ENUM:
+                rendered = spec.choice_name(value)
+                commands.append(f"SET GLOBAL {name} = '{rendered}';")
+            elif spec.knob_type == KnobType.BOOLEAN:
+                commands.append(
+                    f"SET GLOBAL {name} = {'ON' if value else 'OFF'};")
+            elif spec.knob_type == KnobType.INTEGER:
+                commands.append(f"SET GLOBAL {name} = {int(value)};")
+            else:
+                commands.append(f"SET GLOBAL {name} = {value:g};")
+        return commands

@@ -1,0 +1,119 @@
+"""Simulated cloud database substrate.
+
+Replaces the paper's Tencent CDB + sysbench/TPC/YCSB testbed with an
+analytical MySQL-style storage-engine simulator: knob catalogs (MySQL 266,
+MongoDB 232, Postgres 169), 63 internal metrics, hardware instances from
+Table 1, the six evaluation workloads, and component models for the buffer
+pool, redo log (incl. the §5.2.3 crash rule), disk I/O and concurrency.
+"""
+
+from .knobs import KnobRegistry, KnobSpec, KnobType
+from .mysql_knobs import MAJOR_KNOBS, MYSQL_KNOB_COUNT, mysql_registry
+from .other_knobs import (
+    MONGODB_KNOB_COUNT,
+    POSTGRES_KNOB_COUNT,
+    mongodb_registry,
+    postgres_registry,
+)
+from .metrics import (
+    CUMULATIVE_METRICS,
+    METRIC_NAMES,
+    N_METRICS,
+    STATE_METRICS,
+    EngineSnapshot,
+    metrics_dict,
+    metrics_vector,
+)
+from .hardware import (
+    CDB_A,
+    CDB_B,
+    CDB_C,
+    CDB_D,
+    CDB_E,
+    DISK_MEDIA,
+    INSTANCES,
+    DiskMedium,
+    HardwareSpec,
+    cdb_x1,
+    cdb_x2,
+)
+from .workload import (
+    WORKLOADS,
+    WorkloadSpec,
+    get_workload,
+    sysbench_read_only,
+    sysbench_read_write,
+    sysbench_write_only,
+    tpcc,
+    tpch,
+    ycsb,
+)
+from .bufferpool import MemoryBudget, hit_ratio, memory_pressure
+from .logsystem import LogConfig, LogOutcome, crashes_disk, evaluate_log
+from .iomodel import IOConfig, IOOutcome, evaluate_io, thread_pool_efficiency
+from .concurrency import (
+    ConcurrencyConfig,
+    ConcurrencyOutcome,
+    evaluate_concurrency,
+)
+from .errors import ConnectionRefusedError_, DatabaseCrashError, DatabaseError
+from .engine import DatabaseObservation, SimulatedDatabase
+
+__all__ = [
+    "KnobRegistry",
+    "KnobSpec",
+    "KnobType",
+    "MAJOR_KNOBS",
+    "MYSQL_KNOB_COUNT",
+    "MONGODB_KNOB_COUNT",
+    "POSTGRES_KNOB_COUNT",
+    "mysql_registry",
+    "mongodb_registry",
+    "postgres_registry",
+    "CUMULATIVE_METRICS",
+    "METRIC_NAMES",
+    "N_METRICS",
+    "STATE_METRICS",
+    "EngineSnapshot",
+    "metrics_dict",
+    "metrics_vector",
+    "CDB_A",
+    "CDB_B",
+    "CDB_C",
+    "CDB_D",
+    "CDB_E",
+    "DISK_MEDIA",
+    "INSTANCES",
+    "DiskMedium",
+    "HardwareSpec",
+    "cdb_x1",
+    "cdb_x2",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "get_workload",
+    "sysbench_read_only",
+    "sysbench_read_write",
+    "sysbench_write_only",
+    "tpcc",
+    "tpch",
+    "ycsb",
+    "MemoryBudget",
+    "hit_ratio",
+    "memory_pressure",
+    "LogConfig",
+    "LogOutcome",
+    "crashes_disk",
+    "evaluate_log",
+    "IOConfig",
+    "IOOutcome",
+    "evaluate_io",
+    "thread_pool_efficiency",
+    "ConcurrencyConfig",
+    "ConcurrencyOutcome",
+    "evaluate_concurrency",
+    "ConnectionRefusedError_",
+    "DatabaseCrashError",
+    "DatabaseError",
+    "DatabaseObservation",
+    "SimulatedDatabase",
+]

@@ -1,0 +1,84 @@
+"""Buffer pool and server memory model.
+
+Two effects dominate the paper's response surface (Figure 1d):
+
+* **Hit ratio**: with a Zipf-skewed access pattern of exponent ``s``, caching
+  the hottest fraction ``c`` of the working set captures roughly ``c^(1-s)``
+  of accesses — fast initial gains, diminishing returns.
+* **Memory pressure**: the buffer pool is only one consumer of RAM; session
+  buffers (sort/join/read areas × active sessions), caches and the OS share
+  the same box.  Over-provisioning the pool drives the server into swap and
+  performance falls off a cliff — this is why the surface is non-monotone in
+  ``innodb_buffer_pool_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["hit_ratio", "MemoryBudget", "memory_pressure"]
+
+_OS_RESERVED_GB = 0.75  # kernel + mysqld baseline footprint
+_USABLE_FRAC = 0.92     # fraction of RAM the server may consume before swapping
+
+
+def hit_ratio(pool_gb: float, working_set_gb: float, skew: float,
+              instances: int = 8) -> float:
+    """Steady-state buffer pool hit ratio.
+
+    ``instances`` models ``innodb_buffer_pool_instances``: far too few
+    partitions cause mutex contention *misses from stalls* (tiny penalty);
+    far too many fragment the pool (each instance caches its own hot set).
+    """
+    if pool_gb <= 0 or working_set_gb <= 0:
+        raise ValueError("sizes must be positive")
+    if not 0.0 <= skew < 1.0:
+        raise ValueError("skew must be in [0, 1)")
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    # Fragmentation: effective capacity shrinks when pool/instance < 1 GB
+    # and when a single instance serves a big pool.
+    per_instance_gb = pool_gb / instances
+    fragmentation = 1.0
+    if per_instance_gb < 1.0:
+        fragmentation -= 0.06 * (1.0 - per_instance_gb)
+    if instances == 1 and pool_gb > 4.0:
+        fragmentation -= 0.03
+    coverage = min(1.0, (pool_gb * fragmentation) / working_set_gb)
+    if coverage >= 1.0:
+        return 0.998  # page splits/DDL keep a real pool below 100 %
+    return float(min(0.998, coverage ** (1.0 - skew)))
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """Server-wide memory demand, in GB."""
+
+    buffer_pool_gb: float
+    session_gb: float      # per-connection buffers × active sessions
+    shared_gb: float       # key buffer, query cache, log buffer, caches
+
+    @property
+    def total_gb(self) -> float:
+        return self.buffer_pool_gb + self.session_gb + self.shared_gb
+
+
+def memory_pressure(budget: MemoryBudget, ram_gb: float) -> float:
+    """Multiplicative slowdown from memory over-commit (1.0 = no pressure).
+
+    Grows smoothly past ~92 % of RAM and explodes once demand exceeds
+    physical memory — the swap cliff.
+    """
+    if ram_gb <= 0:
+        raise ValueError("ram_gb must be positive")
+    available = max(ram_gb - _OS_RESERVED_GB, 0.5)
+    overcommit = budget.total_gb / (available * _USABLE_FRAC)
+    if overcommit <= 1.0:
+        return 1.0
+    # Quadratic onset, exponential cliff: 5 % over budget ≈ 1.3x slowdown,
+    # 50 % over ≈ 12x (thrashing).  Beyond ~3x overcommit the box is
+    # unusable either way; cap the penalty so downstream math stays finite.
+    excess = min(overcommit - 1.0, 3.0)
+    return float(1.0 + 4.0 * excess ** 2 + np.expm1(3.5 * excess))

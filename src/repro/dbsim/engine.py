@@ -1,0 +1,460 @@
+"""The simulated cloud database: knobs in, performance + 63 metrics out.
+
+:class:`SimulatedDatabase` stands in for the paper's Tencent CDB instance.
+``evaluate(config)`` plays the role of one stress test: it composes the
+buffer-pool, redo-log, I/O and concurrency models into a throughput /
+latency estimate via a short fixed-point iteration (flush pressure depends
+on throughput, which depends on flush pressure), derives the 63 internal
+metrics from the resulting :class:`~repro.dbsim.metrics.EngineSnapshot`,
+and raises :class:`~repro.dbsim.errors.DatabaseCrashError` in the §5.2.3
+crash region.
+
+Measurement noise is deterministic *per configuration* (hash-seeded), so a
+repeated stress test of the same config reproduces — while different
+configurations get independent jitter, like real benchmark runs.
+
+Beyond the ~50 explicitly modeled major knobs, every remaining tunable knob
+contributes a small smooth effect with a knob-specific optimum (seeded by
+the knob's name).  This long tail is what makes Figure 8 rise gradually and
+saturate as random knob subsets grow.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from .bufferpool import MemoryBudget, hit_ratio, memory_pressure
+from .concurrency import ConcurrencyConfig, evaluate_concurrency
+from .errors import DatabaseCrashError
+from .hardware import HardwareSpec
+from .iomodel import IOConfig, evaluate_io
+from .knobs import KnobRegistry
+from .logsystem import LogConfig, crashes_disk, evaluate_log
+from .metrics import EngineSnapshot, metrics_vector
+from .mysql_knobs import MAJOR_KNOBS, mysql_registry
+from .workload import WorkloadSpec
+from ..rl.reward import PerformanceSample
+
+__all__ = ["DatabaseObservation", "SimulatedDatabase"]
+
+GIB = 1024.0 ** 3
+_ROWS_PER_PAGE = 100.0
+_PAGES_PER_ROW_POINT = 1.0   # index descent amortized
+_DIRTY_PAGES_PER_WRITE_OP = 0.5
+_STRESS_INTERVAL_S = 150.0   # §2.1.2: ~150 s of workload per step
+
+
+@dataclass(frozen=True)
+class DatabaseObservation:
+    """Result of one stress test under a configuration."""
+
+    performance: PerformanceSample
+    metrics: np.ndarray          # the 63 internal metrics
+    snapshot: EngineSnapshot     # raw internals (for inspection/tests)
+
+    @property
+    def throughput(self) -> float:
+        return self.performance.throughput
+
+    @property
+    def latency(self) -> float:
+        return self.performance.latency
+
+
+def _stable_hash01(*parts: str) -> float:
+    """Deterministic hash of strings to [0, 1)."""
+    digest = hashlib.md5("::".join(parts).encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2.0 ** 64
+
+
+class SimulatedDatabase:
+    """A tunable MySQL-style cloud database instance.
+
+    Parameters
+    ----------
+    hardware:
+        Instance hardware (Table 1 of the paper).
+    workload:
+        The stress-test workload profile.
+    registry:
+        Knob catalog; defaults to the 266-knob MySQL catalog.
+    adapter:
+        Optional mapping from the registry's knob names to the canonical
+        (MySQL) engine parameters; lets the MongoDB/Postgres catalogs of
+        Appendix C.3 drive the same storage-engine model.  ``None`` means
+        the registry already uses canonical names.
+    noise:
+        Relative std-dev of measurement jitter (0 disables).
+    seed:
+        Seeds the per-config jitter stream.
+    """
+
+    def __init__(self, hardware: HardwareSpec, workload: WorkloadSpec,
+                 registry: KnobRegistry | None = None,
+                 adapter: Mapping[str, str] | None = None,
+                 noise: float = 0.015, seed: int = 0) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.hardware = hardware
+        self.workload = workload
+        self.registry = registry if registry is not None else mysql_registry()
+        self.adapter = dict(adapter) if adapter is not None else None
+        self.noise = float(noise)
+        self.seed = int(seed)
+        self._canonical_defaults = mysql_registry().defaults()
+        if self.adapter is None:
+            self._modeled = set(MAJOR_KNOBS)
+        else:
+            unknown = set(self.adapter.values()) - set(self._canonical_defaults)
+            if unknown:
+                raise KeyError(f"adapter targets unknown canonical knobs: "
+                               f"{sorted(unknown)}")
+            self._modeled = set(self.adapter)
+        self.evaluations = 0  # stress tests run (the paper's sample count)
+        self._minor_cache: tuple | None = None
+
+    # -- public API ------------------------------------------------------------
+    def default_config(self) -> Dict[str, float]:
+        """Vendor defaults — the paper's 'MySQL default' baseline."""
+        return self.registry.defaults()
+
+    def evaluate(self, config: Mapping[str, float],
+                 trial: int = 0) -> DatabaseObservation:
+        """Run one simulated stress test under ``config``.
+
+        Raises :class:`DatabaseCrashError` in the oversized-redo-log crash
+        region.  ``trial`` varies the measurement jitter for repeated runs
+        of the same configuration.
+        """
+        config = self.registry.validate(dict(config))
+        full_db = self.registry.defaults()
+        full_db.update(config)
+        if self.adapter is None:
+            full = full_db
+        else:
+            full = dict(self._canonical_defaults)
+            for name, canonical in self.adapter.items():
+                full[canonical] = full_db[name]
+        self.evaluations += 1
+
+        log_cfg = LogConfig(
+            log_file_bytes=full["innodb_log_file_size"],
+            log_files_in_group=int(full["innodb_log_files_in_group"]),
+            log_buffer_bytes=full["innodb_log_buffer_size"],
+            flush_log_at_trx_commit=int(full["innodb_flush_log_at_trx_commit"]),
+            sync_binlog=int(full["sync_binlog"]),
+        )
+        if crashes_disk(log_cfg, self.hardware.disk_gb):
+            raise DatabaseCrashError(
+                "redo log group "
+                f"({log_cfg.log_file_bytes * log_cfg.log_files_in_group / GIB:.1f} GB) "
+                f"exceeds the disk capacity threshold "
+                f"({self.hardware.disk_gb} GB disk)"
+            )
+
+        throughput, latency, snapshot = self._solve(full, full_db, log_cfg)
+
+        jitter_rng = np.random.default_rng(
+            int(_stable_hash01(str(self.seed), str(trial),
+                               str(sorted(config.items()))) * 2 ** 63)
+        )
+        if self.noise > 0:
+            throughput *= 1.0 + self.noise * jitter_rng.standard_normal()
+            latency *= 1.0 + self.noise * jitter_rng.standard_normal()
+        throughput = max(throughput, 1.0)
+        latency = max(latency, 0.1)
+
+        metrics = metrics_vector(snapshot, rng=jitter_rng,
+                                 noise=self.noise * 0.5)
+        return DatabaseObservation(
+            performance=PerformanceSample(throughput=throughput, latency=latency),
+            metrics=metrics,
+            snapshot=snapshot,
+        )
+
+    # -- internals --------------------------------------------------------------
+    def _solve(self, full: Dict[str, float], full_db: Dict[str, float],
+               log_cfg: LogConfig) -> Tuple[float, float, EngineSnapshot]:
+        hw = self.hardware
+        wl = self.workload
+        disk = hw.disk
+
+        conc = evaluate_concurrency(
+            ConcurrencyConfig(
+                max_connections=int(full["max_connections"]),
+                thread_concurrency=int(full["innodb_thread_concurrency"]),
+                thread_cache_size=int(full["thread_cache_size"]),
+                spin_wait_delay=int(full["innodb_spin_wait_delay"]),
+                sync_spin_loops=int(full["innodb_sync_spin_loops"]),
+                back_log=int(full["back_log"]),
+            ),
+            offered_threads=wl.threads, cores=hw.cores,
+            write_frac=wl.write_frac, skew=wl.skew,
+        )
+
+        pool_gb = full["innodb_buffer_pool_size"] / GIB
+        hit = hit_ratio(pool_gb, wl.working_set_gb, wl.skew,
+                        instances=int(full["innodb_buffer_pool_instances"]))
+
+        session_bytes = (
+            full["sort_buffer_size"] + full["join_buffer_size"]
+            + full["read_buffer_size"] + full["read_rnd_buffer_size"]
+            + full["binlog_cache_size"] + full.get("thread_stack", 262144.0)
+        )
+        # Session buffers are held while a session executes, so demand
+        # scales with concurrently active workers (not every connection).
+        budget = MemoryBudget(
+            buffer_pool_gb=pool_gb,
+            session_gb=session_bytes * conc.active_workers * 1.25 / GIB,
+            shared_gb=(full["key_buffer_size"] + full["query_cache_size"]
+                       + full["innodb_log_buffer_size"]
+                       + full["tmp_table_size"]) / GIB,
+        )
+        pressure = memory_pressure(budget, hw.ram_gb)
+
+        io_cfg = IOConfig(
+            read_io_threads=int(full["innodb_read_io_threads"]),
+            write_io_threads=int(full["innodb_write_io_threads"]),
+            purge_threads=int(full["innodb_purge_threads"]),
+            io_capacity=full["innodb_io_capacity"],
+            io_capacity_max=full["innodb_io_capacity_max"],
+            flush_method=("O_DIRECT" if int(full["innodb_flush_method"]) == 2
+                          else "fdatasync"),
+            flush_neighbors=int(full["innodb_flush_neighbors"]),
+            max_dirty_pct=full["innodb_max_dirty_pages_pct"],
+            lru_scan_depth=full["innodb_lru_scan_depth"],
+            adaptive_flushing=bool(full["innodb_adaptive_flushing"]),
+        )
+
+        # CPU cost tweaks from feature knobs.
+        cpu_us = wl.cpu_us_per_op
+        if bool(full["innodb_adaptive_hash_index"]):
+            cpu_us *= 1.0 - 0.06 * wl.read_frac * wl.point_frac
+            cpu_us *= 1.0 + 0.03 * wl.write_frac
+        if int(full["innodb_change_buffering"]) == 5:  # "all"
+            cpu_us *= 1.0 - 0.05 * wl.write_frac
+        qc_type = int(full["query_cache_type"])
+        if qc_type == 1 and full["query_cache_size"] > 0:
+            cpu_us *= 1.0 - 0.03 * wl.read_frac + 0.10 * wl.write_frac
+
+        # Sort/temp-table behaviour (OLAP-relevant).
+        sort_need_bytes = wl.rows_per_op * 100.0 * 2.0
+        spill_frac = 0.0
+        if wl.sort_frac > 0:
+            tmp_limit = min(full["tmp_table_size"], full["max_heap_table_size"])
+            if sort_need_bytes > max(full["sort_buffer_size"], 1.0):
+                spill_frac += 0.4
+            if sort_need_bytes > max(tmp_limit, 1.0):
+                spill_frac += 0.6
+            spill_frac = min(spill_frac, 1.0)
+
+        # Point lookups touch ~1 page per probed row (B-tree descent is
+        # cached) but never more than a few pages per operation; scans
+        # stream rows at ~100/page.  rows_per_op describes scan volume.
+        point_pages = min(wl.rows_per_op, 4.0) * _PAGES_PER_ROW_POINT
+        pages_per_read_op = (
+            wl.point_frac * point_pages
+            + wl.scan_frac * wl.rows_per_op / _ROWS_PER_PAGE
+        )
+
+        read_ops = wl.ops_per_txn * wl.read_frac
+        write_ops = wl.ops_per_txn * wl.write_frac
+
+        # Fixed point: throughput <-> flush/commit/queue pressure.
+        txn_rate = max(conc.active_workers, 1.0) * 20.0  # optimistic start
+        snapshot_inputs: Dict[str, float] = {}
+        for _ in range(6):
+            miss_rate = txn_rate * read_ops * pages_per_read_op * (1.0 - hit)
+            dirty_rate = txn_rate * write_ops * _DIRTY_PAGES_PER_WRITE_OP
+            log_out = evaluate_log(log_cfg, disk, txn_rate,
+                                   wl.log_bytes_per_txn,
+                                   concurrent_commits=conc.active_workers)
+            io_out = evaluate_io(io_cfg, disk, hw.cores, miss_rate,
+                                 dirty_rate * log_out.checkpoint_factor)
+
+            t_cpu_op = cpu_us / 1000.0 * conc.contention_factor * pressure
+            scan_share = wl.read_frac * wl.scan_frac
+            point_share = wl.read_frac * wl.point_frac
+            # Point misses pay random latency; scans stream at bandwidth.
+            seq_ms_per_page = 16.0 / 1024.0 / max(disk.bandwidth_mb_s, 1.0) * 1000.0
+            read_ahead_gain = 1.0
+            if scan_share > 0 and full["innodb_read_ahead_threshold"] <= 56:
+                read_ahead_gain = 0.85
+            t_read_op = (1.0 - hit) * pressure * (
+                point_share * point_pages
+                * io_out.read_miss_ms
+                + scan_share * (wl.rows_per_op / _ROWS_PER_PAGE)
+                * seq_ms_per_page * read_ahead_gain
+            )
+            t_write_op = wl.write_frac * pressure * np.sqrt(
+                conc.contention_factor) * (
+                0.03
+                + 0.25 * (io_out.write_stall_factor - 1.0)
+                + 0.20 * (log_out.checkpoint_factor - 1.0)
+            )
+            if not bool(full["innodb_doublewrite"]):
+                t_write_op *= 0.95
+            t_sort = wl.sort_frac * spill_frac * (
+                wl.rows_per_op * 100.0 * 2.0 / (disk.bandwidth_mb_s * 1e6) * 1000.0
+                + 2.0
+            )
+            t_lock = conc.lock_wait_frac * conc.avg_lock_wait_ms
+            log_wait_ms = (log_out.log_waits_per_sec / max(txn_rate, 1.0)) * 0.5
+
+            t_txn_ms = (
+                wl.ops_per_txn * (t_cpu_op + t_write_op)
+                + read_ops * 0.0  # read cost carried in t_read below
+                + t_read_op * wl.ops_per_txn
+                + t_sort + t_lock + log_wait_ms + log_out.commit_ms
+            )
+            worker_bound = conc.active_workers / max(t_txn_ms, 1e-3) * 1000.0
+
+            cpu_core_ms_per_txn = wl.ops_per_txn * t_cpu_op
+            cpu_bound = hw.cores * 0.85 / max(cpu_core_ms_per_txn, 1e-3) * 1000.0
+
+            if write_ops > 0:
+                # A tight dirty-page ceiling leaves no buffering headroom:
+                # pages must be flushed almost synchronously with the writes.
+                dirty_headroom = float(np.clip(
+                    full["innodb_max_dirty_pages_pct"] / 40.0, 0.25, 1.0))
+                write_bound = dirty_headroom * io_out.flush_capacity_pages / (
+                    write_ops * _DIRTY_PAGES_PER_WRITE_OP
+                    * log_out.checkpoint_factor
+                )
+            else:
+                write_bound = np.inf
+            read_iops_bound = np.inf
+            per_txn_misses = read_ops * pages_per_read_op * (1.0 - hit)
+            if per_txn_misses * wl.point_frac > 0.05:
+                # Reads and background flushing share the same disk: the
+                # flusher's IOPS come out of the read budget.
+                flush_iops_used = min(dirty_rate, io_out.flush_capacity_pages)
+                read_iops_avail = max(disk.iops * 0.85 - flush_iops_used,
+                                      disk.iops * 0.15)
+                read_iops_bound = read_iops_avail / (
+                    per_txn_misses * max(wl.point_frac, 0.05)
+                )
+
+            target = min(worker_bound, cpu_bound, write_bound, read_iops_bound)
+            txn_rate = 0.5 * txn_rate + 0.5 * max(target, 1.0)
+            snapshot_inputs = {
+                "t_txn_ms": t_txn_ms, "miss_rate": miss_rate,
+                "dirty_rate": dirty_rate,
+                "flush_pages": min(dirty_rate, io_out.flush_capacity_pages),
+                "log_waits": log_out.log_waits_per_sec,
+                "fsyncs": log_out.fsyncs_per_sec,
+                "stall": io_out.write_stall_factor,
+                "ckpt": log_out.checkpoint_factor,
+                "dirty_target": io_out.dirty_frac_target,
+                "purge_cap": io_out.purge_capacity,
+                "spill": spill_frac,
+            }
+
+        throughput = txn_rate * self._minor_knob_factor(full_db)
+        if snapshot_inputs["log_waits"] > 0:
+            wait_frac = snapshot_inputs["log_waits"] / max(txn_rate, 1.0)
+            throughput *= 1.0 / (1.0 + 0.5 * wait_frac)
+
+        # Purge lag: sustained writes beyond purge capacity trim throughput.
+        write_txn_rate = throughput * min(wl.write_frac * 2.0, 1.0)
+        history = 500.0
+        if write_ops > 0 and write_txn_rate > snapshot_inputs["purge_cap"]:
+            lag = write_txn_rate / max(snapshot_inputs["purge_cap"], 1.0)
+            throughput *= max(0.9, 1.0 - 0.03 * (lag - 1.0))
+            history = 500.0 + 5000.0 * (lag - 1.0)
+
+        # Little's law per-client latency over the *offered* load: refused
+        # connections queue and retry at the client, so capping
+        # max_connections cannot shortcut the latency metric.
+        mean_latency_ms = wl.threads / max(throughput, 1.0) * 1000.0
+        mean_latency_ms = max(mean_latency_ms, snapshot_inputs["t_txn_ms"])
+        p99 = mean_latency_ms * (
+            1.5
+            + 0.8 * conc.lock_wait_frac
+            + 0.15 * (snapshot_inputs["stall"] - 1.0)
+            + 0.10 * (snapshot_inputs["ckpt"] - 1.0)
+            + 0.3 * max(pressure - 1.0, 0.0)
+        )
+
+        tmp_rate = throughput * wl.ops_per_txn * wl.read_frac * wl.sort_frac
+        snapshot = EngineSnapshot(
+            interval_s=_STRESS_INTERVAL_S,
+            buffer_pool_bytes=full["innodb_buffer_pool_size"],
+            buffer_pool_used_frac=min(
+                0.97, wl.working_set_gb / max(pool_gb, 1e-3)),
+            dirty_frac=snapshot_inputs["dirty_target"] * min(
+                wl.write_frac * 2.0 + 0.05, 1.0),
+            hit_ratio=hit,
+            ops_per_sec=throughput * wl.ops_per_txn,
+            txn_per_sec=throughput,
+            read_frac=wl.read_frac,
+            point_frac=wl.point_frac,
+            scan_frac=wl.scan_frac,
+            insert_frac=wl.insert_frac,
+            log_bytes_per_txn=wl.log_bytes_per_txn,
+            log_waits_per_sec=snapshot_inputs["log_waits"],
+            fsyncs_per_sec=snapshot_inputs["fsyncs"],
+            flush_pages_per_sec=snapshot_inputs["flush_pages"],
+            read_ahead_per_sec=snapshot_inputs["miss_rate"]
+            * wl.scan_frac * 0.5,
+            lock_wait_frac=conc.lock_wait_frac,
+            avg_lock_wait_ms=conc.avg_lock_wait_ms,
+            history_list_length=history,
+            threads_running=min(conc.active_workers, conc.admitted_threads),
+            threads_connected=conc.admitted_threads,
+            thread_cache_size=full["thread_cache_size"],
+            open_tables=min(full["table_open_cache"], 64.0),
+            open_files=min(full["innodb_open_files"], 128.0),
+            tmp_tables_per_sec=tmp_rate,
+            tmp_disk_tables_frac=spill_frac,
+            rows_per_query=wl.rows_per_op,
+            wait_free_per_sec=max(
+                0.0, snapshot_inputs["dirty_rate"]
+                - snapshot_inputs["flush_pages"]) * 0.1,
+        )
+        return float(throughput), float(p99), snapshot
+
+    def _minor_knob_factor(self, full: Mapping[str, float]) -> float:
+        """Aggregate multiplicative effect of the non-major tunable knobs.
+
+        Each minor knob has a name-hash-determined amplitude (0.05–0.3 %)
+        and optimal position; the effect is a smooth bump peaking there.
+        The *sum* over ~215 knobs gives the long-tail gains of Figure 8.
+        """
+        if self._minor_cache is None:
+            specs = [s for s in self.registry.tunable
+                     if s.name not in self._modeled]
+            amps = np.array([0.00075 + 0.00375 * _stable_hash01(s.name, "amp")
+                             for s in specs])
+            opts = np.array([_stable_hash01(s.name, "opt") for s in specs])
+            lows = np.array([s.min_value for s in specs])
+            highs = np.array([s.max_value for s in specs])
+            is_log = np.array([s.scale == "log" for s in specs])
+            log_lows = np.log(np.where(is_log, lows, 1.0))
+            log_highs = np.log(np.where(is_log, np.maximum(highs, lows + 1e-12),
+                                        np.e))
+            names = [s.name for s in specs]
+            self._minor_cache = (names, amps, opts, lows, highs, is_log,
+                                 log_lows, log_highs)
+        (names, amps, opts, lows, highs, is_log,
+         log_lows, log_highs) = self._minor_cache
+        values = np.array([full[name] for name in names])
+        values = np.clip(values, lows, highs)
+        span = highs - lows
+        lin_u = np.where(span > 0, (values - lows) / np.where(span > 0, span, 1.0),
+                         0.0)
+        log_span = log_highs - log_lows
+        with np.errstate(divide="ignore", invalid="ignore"):
+            log_u = np.where(
+                log_span > 0,
+                (np.log(np.maximum(values, 1e-300)) - log_lows)
+                / np.where(log_span > 0, log_span, 1.0),
+                0.0)
+        u = np.where(is_log, log_u, lin_u)
+        # Peak +amp at u = opt, falling to -amp at distance ~0.7.
+        log_factor = float(np.sum(amps * (1.0 - 2.0 * ((u - opts) / 0.7) ** 2)))
+        return float(np.exp(np.clip(log_factor, -1.0, 1.0)))

@@ -1,0 +1,28 @@
+"""Simulator exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["DatabaseError", "DatabaseCrashError", "ConnectionRefusedError_"]
+
+
+class DatabaseError(Exception):
+    """Base class for simulated database failures."""
+
+
+class DatabaseCrashError(DatabaseError):
+    """The instance crashed under this configuration.
+
+    The paper observes real crashes "once the product of
+    innodb_log_files_in_group and innodb_log_file_size exceeds the disk
+    capacity threshold … because the log files take up too much disk space"
+    (§5.2.3), and handles them with a large negative reward instead of
+    constraining the action space.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ConnectionRefusedError_(DatabaseError):
+    """The workload could not connect (e.g. max_connections exhausted)."""

@@ -1,0 +1,107 @@
+"""Hardware specifications for CDB instances (paper Table 1).
+
+The paper's seven instance families differ in memory size and disk capacity;
+Appendix mentions additional media (SSD, NVM).  A :class:`HardwareSpec`
+captures exactly what the performance model needs: RAM, disk capacity,
+core count and the disk's latency/IOPS/bandwidth envelope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+__all__ = [
+    "DiskMedium",
+    "DISK_MEDIA",
+    "HardwareSpec",
+    "CDB_A",
+    "CDB_B",
+    "CDB_C",
+    "CDB_D",
+    "CDB_E",
+    "cdb_x1",
+    "cdb_x2",
+    "INSTANCES",
+]
+
+
+@dataclass(frozen=True)
+class DiskMedium:
+    """I/O envelope of a storage medium."""
+
+    name: str
+    read_latency_ms: float   # single random read
+    write_latency_ms: float  # single random write
+    fsync_ms: float          # durable flush
+    iops: float              # random IOPS ceiling
+    bandwidth_mb_s: float    # sequential bandwidth
+
+
+DISK_MEDIA: Dict[str, DiskMedium] = {
+    "hdd": DiskMedium("hdd", read_latency_ms=8.0, write_latency_ms=10.0,
+                      fsync_ms=12.0, iops=200.0, bandwidth_mb_s=150.0),
+    "cloud-ssd": DiskMedium("cloud-ssd", read_latency_ms=0.45,
+                            write_latency_ms=0.55, fsync_ms=1.5,
+                            iops=8000.0, bandwidth_mb_s=350.0),
+    "local-ssd": DiskMedium("local-ssd", read_latency_ms=0.12,
+                            write_latency_ms=0.15, fsync_ms=0.5,
+                            iops=90000.0, bandwidth_mb_s=2000.0),
+    "nvm": DiskMedium("nvm", read_latency_ms=0.02, write_latency_ms=0.03,
+                      fsync_ms=0.08, iops=500000.0, bandwidth_mb_s=6000.0),
+}
+
+
+@dataclass(frozen=True)
+class HardwareSpec:
+    """One cloud database instance's hardware envelope."""
+
+    name: str
+    ram_gb: float
+    disk_gb: float
+    cores: int = 12
+    medium: str = "cloud-ssd"
+
+    def __post_init__(self) -> None:
+        if self.ram_gb <= 0 or self.disk_gb <= 0 or self.cores <= 0:
+            raise ValueError("hardware dimensions must be positive")
+        if self.medium not in DISK_MEDIA:
+            raise ValueError(
+                f"unknown disk medium {self.medium!r}; "
+                f"options: {sorted(DISK_MEDIA)}"
+            )
+
+    @property
+    def disk(self) -> DiskMedium:
+        return DISK_MEDIA[self.medium]
+
+    def with_ram(self, ram_gb: float, name: str | None = None) -> "HardwareSpec":
+        return replace(self, ram_gb=ram_gb,
+                       name=name or f"{self.name}-ram{ram_gb:g}G")
+
+    def with_disk(self, disk_gb: float, name: str | None = None) -> "HardwareSpec":
+        return replace(self, disk_gb=disk_gb,
+                       name=name or f"{self.name}-disk{disk_gb:g}G")
+
+
+# Table 1 of the paper.
+CDB_A = HardwareSpec("CDB-A", ram_gb=8, disk_gb=100)
+CDB_B = HardwareSpec("CDB-B", ram_gb=12, disk_gb=100)
+CDB_C = HardwareSpec("CDB-C", ram_gb=12, disk_gb=200)
+CDB_D = HardwareSpec("CDB-D", ram_gb=16, disk_gb=200)
+CDB_E = HardwareSpec("CDB-E", ram_gb=32, disk_gb=300)
+
+
+def cdb_x1(ram_gb: float) -> HardwareSpec:
+    """CDB-X1 family: variable RAM in (4, 12, 32, 64, 128), 100 GB disk."""
+    return HardwareSpec(f"CDB-X1-{ram_gb:g}G", ram_gb=ram_gb, disk_gb=100)
+
+
+def cdb_x2(disk_gb: float) -> HardwareSpec:
+    """CDB-X2 family: 12 GB RAM, variable disk in (32, 64, 100, 256, 512)."""
+    return HardwareSpec(f"CDB-X2-{disk_gb:g}G", ram_gb=12, disk_gb=disk_gb)
+
+
+INSTANCES: Dict[str, HardwareSpec] = {
+    spec.name: spec for spec in (CDB_A, CDB_B, CDB_C, CDB_D, CDB_E)
+}

@@ -1,0 +1,126 @@
+"""Disk I/O model: read misses, background flushing, thread pools.
+
+Captures the knob semantics the paper calls out in §5.2.3:
+``innodb_read_io_threads`` should grow under read-only loads, while
+``innodb_write_io_threads`` and ``innodb_purge_threads`` should grow under
+write-heavy loads — with over-provisioning penalized (context-switch and
+coordination overhead), which keeps the response surface non-monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hardware import DiskMedium
+
+__all__ = ["IOConfig", "IOOutcome", "evaluate_io", "thread_pool_efficiency"]
+
+
+@dataclass(frozen=True)
+class IOConfig:
+    """I/O-relevant knob values."""
+
+    read_io_threads: int
+    write_io_threads: int
+    purge_threads: int
+    io_capacity: float
+    io_capacity_max: float
+    flush_method: str            # "fdatasync" | "O_DSYNC" | "O_DIRECT"
+    flush_neighbors: int         # 0, 1, 2
+    max_dirty_pct: float
+    lru_scan_depth: float
+    adaptive_flushing: bool
+
+
+@dataclass(frozen=True)
+class IOOutcome:
+    """Derived I/O behaviour."""
+
+    read_miss_ms: float          # effective latency of one buffer pool miss
+    flush_capacity_pages: float  # background flush bandwidth, pages/s
+    write_stall_factor: float    # >= 1, applied when dirty rate > capacity
+    purge_capacity: float        # undo purge bandwidth, txn/s
+    dirty_frac_target: float     # steady-state dirty page fraction
+
+
+def thread_pool_efficiency(threads: int, demand: float, cores: int) -> float:
+    """Useful parallelism of a background thread pool in [0, 1].
+
+    Rises with thread count while below demand, then *decreases* once the
+    pool oversubscribes the CPU (the non-monotonicity DBAs know well).
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    if demand <= 0:
+        return 1.0
+    useful = min(threads, demand) / demand
+    oversub = max(0.0, threads - max(demand, cores)) / max(cores, 1)
+    return float(useful * (1.0 / (1.0 + 0.9 * oversub)))
+
+
+def evaluate_io(config: IOConfig, disk: DiskMedium, cores: int,
+                miss_rate_per_sec: float, dirty_pages_per_sec: float) -> IOOutcome:
+    """Model one interval of I/O behaviour."""
+    if miss_rate_per_sec < 0 or dirty_pages_per_sec < 0:
+        raise ValueError("rates must be non-negative")
+
+    # -- reads: misses are served by the read thread pool against disk IOPS.
+    read_demand = max(miss_rate_per_sec / 400.0, 1.0)  # threads worth of work
+    read_eff = thread_pool_efficiency(config.read_io_threads, read_demand, cores)
+    parallelism = max(1.0, min(config.read_io_threads, read_demand) * read_eff)
+    queue = max(0.0, miss_rate_per_sec / max(disk.iops, 1.0) - 0.6)
+    read_miss_ms = disk.read_latency_ms * (1.0 / parallelism ** 0.35) * (
+        1.0 + 4.0 * queue ** 2
+    )
+    if config.flush_method == "O_DIRECT":
+        read_miss_ms *= 1.02  # no OS page cache to soften misses
+
+    # -- writes: background flushing budget.  Sustained flushing tracks
+    # io_capacity (bursting under pressure toward io_capacity_max); a
+    # weighted geometric blend makes the budget climbable one knob at a
+    # time while still rewarding setting the pair coherently.
+    io_budget = min(
+        (max(config.io_capacity, 1.0) * 2.0) ** 0.65
+        * max(config.io_capacity_max, 1.0) ** 0.35,
+        disk.iops * 0.8)
+    write_demand = max(dirty_pages_per_sec / 800.0, 1.0)
+    write_eff = thread_pool_efficiency(config.write_io_threads, write_demand, cores)
+    flush_capacity = io_budget * write_eff
+    if config.flush_neighbors and disk.name != "hdd":
+        flush_capacity *= 0.96  # neighbor flushing wastes IOPS on SSD
+    elif not config.flush_neighbors and disk.name == "hdd":
+        flush_capacity *= 0.85  # HDD wants sequentialized neighbor flushes
+    if config.flush_method == "O_DIRECT":
+        flush_capacity *= 1.08  # skip double buffering
+    if config.adaptive_flushing:
+        flush_capacity *= 1.05
+
+    # LRU scan depth: too shallow starves free pages, too deep burns CPU.
+    depth_ratio = config.lru_scan_depth / 1024.0
+    flush_capacity *= float(np.clip(0.9 + 0.1 * np.log2(max(depth_ratio, 0.1) + 1.0),
+                                    0.85, 1.1))
+
+    # Stall factor when dirty generation outruns flushing; a loose
+    # max_dirty_pct postpones the stall but deepens it.
+    stall = 1.0
+    if dirty_pages_per_sec > flush_capacity > 0:
+        overload = dirty_pages_per_sec / flush_capacity - 1.0
+        headroom = config.max_dirty_pct / 75.0
+        stall = 1.0 + 2.0 * overload / max(headroom, 0.2)
+
+    purge_eff = thread_pool_efficiency(config.purge_threads,
+                                       max(dirty_pages_per_sec / 1500.0, 0.5),
+                                       cores)
+    purge_capacity = 3000.0 * config.purge_threads * purge_eff
+
+    dirty_target = float(np.clip(config.max_dirty_pct / 100.0 * 0.6, 0.02, 0.7))
+
+    return IOOutcome(
+        read_miss_ms=float(read_miss_ms),
+        flush_capacity_pages=float(flush_capacity),
+        write_stall_factor=float(stall),
+        purge_capacity=float(purge_capacity),
+        dirty_frac_target=dirty_target,
+    )

@@ -1,0 +1,240 @@
+"""Knob specifications and registries.
+
+The action space of CDBTune is the set of tunable configuration knobs
+(266 for the MySQL-compatible CDB, 232 for MongoDB, 169 for Postgres).  A
+:class:`KnobSpec` describes one knob — type, range, default, scaling — and a
+:class:`KnobRegistry` is an ordered catalog that converts between physical
+configurations (name → value dicts) and the normalized ``[0, 1]^m`` vectors
+the DDPG actor emits.
+
+The paper's blacklist (§5.2: knobs that "do not make sense to tune" like
+path names, or are dangerous) is modeled by ``tunable=False``; registries
+expose only tunable knobs as action dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["KnobType", "KnobSpec", "KnobRegistry"]
+
+
+class KnobType:
+    """Enumeration of supported knob value types."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+    ENUM = "enum"
+
+    ALL = (INTEGER, FLOAT, BOOLEAN, ENUM)
+
+
+@dataclass(frozen=True)
+class KnobSpec:
+    """Static description of one configuration knob.
+
+    ``scale="log"`` makes the unit interval map exponentially across the
+    range, which matches how DBAs think about byte-sized knobs (buffer pool
+    sizes span 5 orders of magnitude).
+    """
+
+    name: str
+    knob_type: str = KnobType.INTEGER
+    min_value: float = 0.0
+    max_value: float = 1.0
+    default: float = 0.0
+    choices: Sequence[str] = ()
+    unit: str = ""
+    scale: str = "linear"  # "linear" | "log"
+    tunable: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.knob_type not in KnobType.ALL:
+            raise ValueError(f"unknown knob type {self.knob_type!r}")
+        if self.scale not in ("linear", "log"):
+            raise ValueError(f"unknown scale {self.scale!r}")
+        if self.knob_type == KnobType.ENUM:
+            if len(self.choices) < 2:
+                raise ValueError(f"enum knob {self.name!r} needs >= 2 choices")
+            object.__setattr__(self, "min_value", 0.0)
+            object.__setattr__(self, "max_value", float(len(self.choices) - 1))
+        elif self.knob_type == KnobType.BOOLEAN:
+            object.__setattr__(self, "min_value", 0.0)
+            object.__setattr__(self, "max_value", 1.0)
+        if self.min_value > self.max_value:
+            raise ValueError(f"knob {self.name!r}: min > max")
+        if not self.min_value <= self.default <= self.max_value:
+            raise ValueError(
+                f"knob {self.name!r}: default {self.default} outside "
+                f"[{self.min_value}, {self.max_value}]"
+            )
+        if self.scale == "log" and self.min_value <= 0:
+            raise ValueError(f"knob {self.name!r}: log scale needs min > 0")
+
+    # -- unit-interval mapping ------------------------------------------------
+    def to_unit(self, value: float) -> float:
+        """Map a physical value to [0, 1]."""
+        value = float(np.clip(value, self.min_value, self.max_value))
+        if self.max_value == self.min_value:
+            return 0.0
+        if self.scale == "log":
+            return (math.log(value) - math.log(self.min_value)) / (
+                math.log(self.max_value) - math.log(self.min_value)
+            )
+        return (value - self.min_value) / (self.max_value - self.min_value)
+
+    def from_unit(self, u: float) -> float:
+        """Map u in [0, 1] to a physical value, quantized per the knob type."""
+        u = float(np.clip(u, 0.0, 1.0))
+        if self.scale == "log":
+            raw = math.exp(
+                math.log(self.min_value)
+                + u * (math.log(self.max_value) - math.log(self.min_value))
+            )
+        else:
+            raw = self.min_value + u * (self.max_value - self.min_value)
+        return self.quantize(raw)
+
+    def quantize(self, value: float) -> float:
+        """Snap a raw value onto the knob's legal grid."""
+        value = float(np.clip(value, self.min_value, self.max_value))
+        if self.knob_type in (KnobType.INTEGER, KnobType.BOOLEAN, KnobType.ENUM):
+            return float(int(round(value)))
+        return value
+
+    def choice_name(self, value: float) -> str:
+        """Human-readable value for enum knobs."""
+        if self.knob_type != KnobType.ENUM:
+            raise TypeError(f"knob {self.name!r} is not an enum")
+        return self.choices[int(round(value))]
+
+    @property
+    def span(self) -> float:
+        return self.max_value - self.min_value
+
+
+class KnobRegistry:
+    """Ordered collection of knobs with vector conversion helpers.
+
+    ``subset`` restricts the action space to the first N knobs of an
+    importance ordering (Figures 6–8 tune growing prefixes of sorted knob
+    lists); un-subset knobs stay at their defaults.
+    """
+
+    def __init__(self, specs: Sequence[KnobSpec]) -> None:
+        names = [s.name for s in specs]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate knob names: {dupes}")
+        self._specs: List[KnobSpec] = list(specs)
+        self._by_name: Dict[str, KnobSpec] = {s.name: s for s in specs}
+
+    # -- basic access ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __iter__(self) -> Iterator[KnobSpec]:
+        return iter(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> KnobSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown knob {name!r}") from None
+
+    @property
+    def names(self) -> List[str]:
+        return [s.name for s in self._specs]
+
+    @property
+    def tunable(self) -> List[KnobSpec]:
+        return [s for s in self._specs if s.tunable]
+
+    @property
+    def tunable_names(self) -> List[str]:
+        return [s.name for s in self._specs if s.tunable]
+
+    @property
+    def n_tunable(self) -> int:
+        return len(self.tunable)
+
+    def defaults(self) -> Dict[str, float]:
+        """The vendor-default configuration (the paper's 'MySQL default')."""
+        return {s.name: s.default for s in self._specs}
+
+    # -- subsetting ----------------------------------------------------------
+    def subset(self, names: Sequence[str]) -> "KnobRegistry":
+        """Registry restricted to ``names`` (order preserved from ``names``)."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown knobs: {missing}")
+        return KnobRegistry([self._by_name[n] for n in names])
+
+    def reorder(self, names: Sequence[str]) -> "KnobRegistry":
+        """Full registry reordered so ``names`` come first (importance order)."""
+        chosen = list(names)
+        rest = [n for n in self.names if n not in set(chosen)]
+        return self.subset(chosen + rest)
+
+    # -- vector conversion -------------------------------------------------------
+    def to_vector(self, config: Mapping[str, float],
+                  strict: bool = True) -> np.ndarray:
+        """Normalize a (possibly partial) configuration to [0, 1]^n_tunable.
+
+        Missing knobs take their defaults.  With ``strict=False`` knob
+        names outside this registry are ignored (subset registries reading
+        full-catalog configurations, Figures 6-8).
+        """
+        if strict:
+            unknown = [n for n in config if n not in self._by_name]
+            if unknown:
+                raise KeyError(f"unknown knobs in config: {sorted(unknown)}")
+        return np.array([
+            s.to_unit(config.get(s.name, s.default)) for s in self.tunable
+        ])
+
+    def from_vector(self, vector: np.ndarray,
+                    base: Mapping[str, float] | None = None) -> Dict[str, float]:
+        """Decode an action vector to a full physical configuration.
+
+        Non-tunable knobs (and tunable knobs absent from a subset registry)
+        come from ``base`` or, failing that, the defaults.
+        """
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        tunable = self.tunable
+        if vector.size != len(tunable):
+            raise ValueError(
+                f"expected action of dim {len(tunable)}, got {vector.size}"
+            )
+        config = dict(base) if base is not None else {}
+        for spec in self._specs:
+            config.setdefault(spec.name, spec.default)
+        for spec, u in zip(tunable, vector):
+            config[spec.name] = spec.from_unit(float(u))
+        return config
+
+    def validate(self, config: Mapping[str, float]) -> Dict[str, float]:
+        """Clip and quantize every known knob value; reject unknown names."""
+        unknown = [n for n in config if n not in self._by_name]
+        if unknown:
+            raise KeyError(f"unknown knobs in config: {sorted(unknown)}")
+        return {
+            name: self._by_name[name].quantize(value)
+            for name, value in config.items()
+        }
+
+    def random_config(self, rng: np.random.Generator) -> Dict[str, float]:
+        """Uniformly random tunable configuration (BestConfig sampling etc.)."""
+        config = self.defaults()
+        for spec in self.tunable:
+            config[spec.name] = spec.from_unit(rng.random())
+        return config

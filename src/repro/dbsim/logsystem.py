@@ -1,0 +1,125 @@
+"""Redo log, binlog and checkpoint model.
+
+Three paper-visible mechanisms live here:
+
+* **Commit durability cost** — ``innodb_flush_log_at_trx_commit`` (0/1/2) and
+  ``sync_binlog`` decide how many fsyncs a commit pays; group commit
+  amortizes them across concurrent sessions.
+* **Checkpoint pressure** — a small total redo capacity
+  (``innodb_log_file_size × innodb_log_files_in_group``) forces aggressive
+  page flushing and eventually write stalls; the paper notes CDBTune
+  "expand[s] the size of log file properly" under write-heavy loads.
+* **The crash rule** — §5.2.3: if the redo log group exceeds the disk
+  capacity threshold the instance crashes; CDBTune learns to avoid the
+  region via a −100 reward rather than a hard constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .hardware import DiskMedium
+
+__all__ = ["LogConfig", "LogOutcome", "evaluate_log", "log_group_bytes",
+           "crashes_disk"]
+
+# Fraction of disk the redo group may occupy before data has nowhere to grow
+# (the paper's "threshold"; data + binlogs need the rest of the disk).
+DISK_LOG_FRACTION_LIMIT = 0.5
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Log-relevant knob values (physical units)."""
+
+    log_file_bytes: float
+    log_files_in_group: int
+    log_buffer_bytes: float
+    flush_log_at_trx_commit: int  # 0, 1, 2
+    sync_binlog: int              # 0 = never, N = every N commits
+
+
+@dataclass(frozen=True)
+class LogOutcome:
+    """Derived log behaviour for one stress-test interval."""
+
+    commit_ms: float            # per-transaction durability cost
+    checkpoint_factor: float    # >= 1, multiplies page-write cost
+    log_waits_per_sec: float    # stalls from an undersized log buffer
+    fsyncs_per_sec: float       # redo + binlog fsync rate
+    redo_bytes_per_sec: float
+
+
+def log_group_bytes(config: LogConfig) -> float:
+    return config.log_file_bytes * config.log_files_in_group
+
+
+def crashes_disk(config: LogConfig, disk_gb: float) -> bool:
+    """The §5.2.3 crash rule: redo group exceeds its disk share."""
+    return log_group_bytes(config) > DISK_LOG_FRACTION_LIMIT * disk_gb * 1024 ** 3
+
+
+def evaluate_log(config: LogConfig, disk: DiskMedium, txn_per_sec: float,
+                 log_bytes_per_txn: float, concurrent_commits: float) -> LogOutcome:
+    """Model one interval of log behaviour.
+
+    ``concurrent_commits`` is the number of sessions committing at once —
+    group commit divides the fsync price among them.
+    """
+    if txn_per_sec < 0 or log_bytes_per_txn < 0:
+        raise ValueError("rates must be non-negative")
+    if config.flush_log_at_trx_commit not in (0, 1, 2):
+        raise ValueError("flush_log_at_trx_commit must be 0, 1 or 2")
+    if config.sync_binlog < 0:
+        raise ValueError("sync_binlog must be >= 0")
+
+    group = max(1.0, min(concurrent_commits, 16.0))  # group-commit batch
+    redo_rate = txn_per_sec * log_bytes_per_txn
+
+    # Per-commit redo durability cost.
+    if log_bytes_per_txn == 0.0:
+        commit_ms = 0.0
+        redo_fsyncs = 0.0
+    elif config.flush_log_at_trx_commit == 1:
+        commit_ms = disk.fsync_ms / group
+        redo_fsyncs = txn_per_sec / group
+    elif config.flush_log_at_trx_commit == 2:
+        # Write syscall per commit, fsync once a second.
+        commit_ms = 0.02 + disk.write_latency_ms * 0.1
+        redo_fsyncs = 1.0
+    else:  # 0: both deferred to the background second-tick
+        commit_ms = 0.01
+        redo_fsyncs = 1.0
+
+    # Binlog durability on top.
+    binlog_fsyncs = 0.0
+    if config.sync_binlog > 0 and log_bytes_per_txn > 0.0:
+        commit_ms += disk.fsync_ms / (config.sync_binlog * group)
+        binlog_fsyncs = txn_per_sec / config.sync_binlog
+
+    # Checkpoint pressure: how fast does the workload wrap the redo group?
+    # Healthy deployments size the log for >= ~20 min of redo; below that,
+    # the page cleaner must flush synchronously with the workload.
+    checkpoint_factor = 1.0
+    if redo_rate > 0:
+        fill_seconds = log_group_bytes(config) / redo_rate
+        target_seconds = 1200.0
+        if fill_seconds < target_seconds:
+            shortfall = target_seconds / max(fill_seconds, 1.0)
+            checkpoint_factor = 1.0 + 0.25 * np.log1p(shortfall - 1.0) ** 2
+
+    # Log-buffer waits: the buffer must absorb ~0.5 s of redo between writes.
+    log_waits = 0.0
+    if redo_rate > 0 and config.log_buffer_bytes < 0.5 * redo_rate:
+        deficit = 0.5 * redo_rate / max(config.log_buffer_bytes, 1.0)
+        log_waits = txn_per_sec * min(1.0, 0.1 * (deficit - 1.0))
+
+    return LogOutcome(
+        commit_ms=float(commit_ms),
+        checkpoint_factor=float(checkpoint_factor),
+        log_waits_per_sec=float(max(log_waits, 0.0)),
+        fsyncs_per_sec=float(redo_fsyncs + binlog_fsyncs),
+        redo_bytes_per_sec=float(redo_rate),
+    )

@@ -1,0 +1,358 @@
+"""MongoDB and Postgres knob catalogs (Appendix C.3).
+
+The paper evaluates CDBTune on MongoDB (tuning 232 knobs, YCSB on CDB-E)
+and Postgres (tuning 169 knobs, TPC-C on CDB-D).  Both catalogs here pair:
+
+* *major* knobs with real semantics, each **aliased** to the canonical
+  storage-engine parameter it corresponds to (WiredTiger's cache maps to the
+  buffer pool, Postgres ``shared_buffers`` likewise, WAL/journal sizing maps
+  to the redo-log model, and so on);
+* real minor configuration parameters of each system, whose long-tail
+  effect is handled by the engine's minor-knob model;
+* where the real parameter inventory we enumerate falls short of the
+  paper's exact knob counts, explicitly-labeled auxiliary knobs
+  (``<db>_aux_NNN``) pad the action space to the published dimensionality
+  (232 / 169).  They behave like any other minor knob; the point they
+  preserve is the *size* of the continuous action space the tuners face.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .knobs import KnobRegistry, KnobSpec, KnobType
+from .mysql_knobs import GIB, KIB, MIB
+
+__all__ = [
+    "mongodb_registry",
+    "postgres_registry",
+    "MONGODB_KNOB_COUNT",
+    "POSTGRES_KNOB_COUNT",
+]
+
+MONGODB_KNOB_COUNT = 232
+POSTGRES_KNOB_COUNT = 169
+
+
+def _i(name, lo, hi, default, scale="linear"):
+    return KnobSpec(name, KnobType.INTEGER, lo, hi, default, scale=scale)
+
+
+def _f(name, lo, hi, default, scale="linear"):
+    return KnobSpec(name, KnobType.FLOAT, lo, hi, default, scale=scale)
+
+
+def _b(name, default):
+    return KnobSpec(name, KnobType.BOOLEAN, default=float(default))
+
+
+def _e(name, choices, default_index):
+    return KnobSpec(name, KnobType.ENUM, default=float(default_index),
+                    choices=tuple(str(c) for c in choices))
+
+
+def _pad(prefix: str, count: int) -> list[KnobSpec]:
+    return [_i(f"{prefix}_aux_{i:03d}", 0, 1000, 500) for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# MongoDB (WiredTiger engine)
+# ---------------------------------------------------------------------------
+_MONGO_MAJOR: list[Tuple[KnobSpec, str]] = [
+    (_i("wiredTiger.engineConfig.cacheSizeGB_bytes", 256 * MIB, 256 * GIB,
+        1 * GIB, "log"), "innodb_buffer_pool_size"),
+    (_i("wiredTiger.engineConfig.evictionThreadsMax", 1, 64, 4),
+     "innodb_write_io_threads"),
+    (_i("wiredTiger.engineConfig.evictionThreadsMin", 1, 64, 4),
+     "innodb_read_io_threads"),
+    (_i("wiredTiger.engineConfig.evictionDirtyTarget_pct", 1, 99, 5),
+     "innodb_max_dirty_pages_pct"),
+    (_i("storage.journal.commitIntervalMs_mapped", 0, 2, 1),
+     "innodb_flush_log_at_trx_commit"),
+    (_i("storage.journal.maxFileSize_bytes", 4 * MIB, 16 * GIB, 100 * MIB,
+        "log"), "innodb_log_file_size"),
+    (_i("storage.journal.fileCount", 2, 100, 2), "innodb_log_files_in_group"),
+    (_i("storage.journal.bufferSize_bytes", 256 * KIB, 512 * MIB, 16 * MIB,
+        "log"), "innodb_log_buffer_size"),
+    (_i("net.maxIncomingConnections", 10, 100000, 819, "log"),
+     "max_connections"),
+    (_i("wiredTiger.concurrentReadTransactions", 0, 1000, 128),
+     "innodb_thread_concurrency"),
+    (_i("storage.syncPeriodSecs_mapped", 0, 1000, 60), "sync_binlog"),
+    (_i("wiredTiger.engineConfig.ioCapacity", 100, 20000, 1000, "log"),
+     "innodb_io_capacity"),
+    (_i("wiredTiger.engineConfig.ioCapacityMax", 100, 40000, 4000, "log"),
+     "innodb_io_capacity_max"),
+    (_i("wiredTiger.sessionCacheSize", 0, 16384, 128), "thread_cache_size"),
+    (_i("wiredTiger.engineConfig.checkpointThreads", 1, 32, 1),
+     "innodb_purge_threads"),
+    (_e("wiredTiger.collectionConfig.blockCompressor",
+        ("none", "snappy", "zlib"), 1), "innodb_flush_method"),
+    (_i("internalQueryExecYieldPeriodMS_sort_bytes", 32 * KIB, 256 * MIB,
+        32 * MIB, "log"), "sort_buffer_size"),
+    (_i("cursorTimeoutMillis_cacheBytes", 1 * KIB, 2 * GIB, 64 * MIB, "log"),
+     "tmp_table_size"),
+]
+
+_MONGO_MINOR = [
+    _i("net.serviceExecutorReservedThreads", 0, 1024, 0),
+    _i("net.listenBacklog", 1, 65535, 128, "log"),
+    _i("net.maxMessageSizeBytes", 1 * MIB, 64 * MIB, 48 * MIB, "log"),
+    _i("net.compression.level", 0, 9, 6),
+    _b("net.ipv6", False),
+    _b("net.http.enabled", False),
+    _i("operationProfiling.slowOpThresholdMs", 0, 60000, 100),
+    _f("operationProfiling.slowOpSampleRate", 0.0, 1.0, 1.0),
+    _e("operationProfiling.mode", ("off", "slowOp", "all"), 0),
+    _i("replication.oplogSizeMB", 50, 51200, 990, "log"),
+    _b("replication.enableMajorityReadConcern", True),
+    _i("storage.wiredTiger.engineConfig.statisticsLogDelaySecs", 0, 600, 0),
+    _b("storage.directoryPerDB", False),
+    _b("storage.journal.enabled", True),
+    _i("storage.inMemory.engineConfig.inMemorySizeGB", 1, 128, 1),
+    _e("storage.wiredTiger.indexConfig.prefixCompression", ("off", "on"), 1),
+    _i("setParameter.internalQueryPlanEvaluationWorks", 1000, 100000, 10000, "log"),
+    _i("setParameter.internalQueryPlanEvaluationCollFraction_x1000", 0, 1000, 300),
+    _i("setParameter.internalQueryPlanEvaluationMaxResults", 0, 1000, 101),
+    _i("setParameter.internalQueryCacheMaxEntriesPerCollection", 0, 100000, 5000),
+    _i("setParameter.internalQueryCacheEvictionRatio_x100", 0, 10000, 1000),
+    _i("setParameter.internalQueryMaxBlockingSortMemoryUsageBytes",
+       1 * MIB, 1 * GIB, 100 * MIB, "log"),
+    _i("setParameter.internalQueryExecYieldIterations", 1, 100000, 128, "log"),
+    _i("setParameter.internalQueryExecYieldPeriodMS", 1, 1000, 10),
+    _i("setParameter.internalDocumentSourceCursorBatchSizeBytes",
+       4 * KIB, 64 * MIB, 4 * MIB, "log"),
+    _i("setParameter.internalDocumentSourceLookupCacheSizeBytes",
+       4 * KIB, 1 * GIB, 100 * MIB, "log"),
+    _i("setParameter.internalInsertMaxBatchSize", 1, 10000, 64, "log"),
+    _i("setParameter.cursorTimeoutMillis", 1000, 3600000, 600000, "log"),
+    _i("setParameter.transactionLifetimeLimitSeconds", 1, 3600, 60, "log"),
+    _i("setParameter.maxTransactionLockRequestTimeoutMillis", 0, 60000, 5),
+    _i("setParameter.wiredTigerConcurrentWriteTransactions", 1, 1000, 128),
+    _i("setParameter.ttlMonitorSleepSecs", 1, 3600, 60, "log"),
+    _b("setParameter.ttlMonitorEnabled", True),
+    _i("setParameter.syncdelay", 0, 3600, 60),
+    _i("setParameter.journalCommitInterval", 1, 500, 100),
+    _b("setParameter.logicalSessionRefreshMillisEnabled", True),
+    _i("setParameter.localLogicalSessionTimeoutMinutes", 1, 1440, 30),
+    _i("setParameter.taskExecutorPoolSize", 0, 64, 0),
+    _i("setParameter.connPoolMaxConnsPerHost", 1, 10000, 200, "log"),
+    _i("setParameter.connPoolMaxInUseConnsPerHost", 1, 10000, 200, "log"),
+    _i("setParameter.globalConnPoolIdleTimeoutMinutes", 1, 1440, 30),
+    _i("setParameter.ShardingTaskExecutorPoolMinSize", 0, 100, 1),
+    _i("setParameter.ShardingTaskExecutorPoolMaxSize", 1, 32768, 32768, "log"),
+    _i("setParameter.batchUserMultiDeletes", 0, 1, 0),
+    _b("setParameter.disableLogicalSessionCacheRefresh", False),
+    _i("setParameter.oplogInitialFindMaxSeconds", 1, 600, 60),
+    _i("setParameter.rollbackTimeLimitSecs", 1, 86400, 86400, "log"),
+    _i("setParameter.waitForSecondaryBeforeNoopWriteMS", 0, 1000, 10),
+    _i("setParameter.migrateCloneInsertionBatchSize", 0, 10000, 0),
+    _i("setParameter.rangeDeleterBatchSize", 0, 100000, 2147, "linear"),
+    _i("setParameter.rangeDeleterBatchDelayMS", 0, 1000, 20),
+    _b("setParameter.skipShardingConfigurationChecks", False),
+    _i("wiredTiger.engineConfig.lookasideScoreThreshold", 0, 100, 80),
+    _i("wiredTiger.engineConfig.evictionTarget_pct", 1, 99, 80),
+    _i("wiredTiger.engineConfig.evictionTrigger_pct", 1, 99, 95),
+    _i("wiredTiger.engineConfig.evictionDirtyTrigger_pct", 1, 99, 20),
+    _i("wiredTiger.engineConfig.logFileMax_bytes", 1 * MIB, 2 * GIB,
+       100 * MIB, "log"),
+    _e("wiredTiger.engineConfig.logCompressor",
+       ("none", "snappy", "zlib"), 1),
+    _b("wiredTiger.engineConfig.logPrealloc", True),
+    _i("wiredTiger.engineConfig.sessionMax", 100, 100000, 33000, "log"),
+    _i("wiredTiger.engineConfig.hazardMax", 100, 10000, 1000, "log"),
+    _i("wiredTiger.internalPageMax_bytes", 4 * KIB, 512 * KIB, 4 * KIB, "log"),
+    _i("wiredTiger.leafPageMax_bytes", 4 * KIB, 512 * KIB, 32 * KIB, "log"),
+    _i("wiredTiger.allocationSize_bytes", 512, 128 * KIB, 4 * KIB, "log"),
+    _f("wiredTiger.splitPct", 50.0, 100.0, 90.0),
+    _i("wiredTiger.memoryPageMax_bytes", 512 * KIB, 128 * MIB, 10 * MIB, "log"),
+    _b("wiredTiger.checksum", True),
+]
+
+_MONGO_BLACKLIST = [
+    KnobSpec("storage.dbPath_segments", KnobType.INTEGER, 1, 8, 1,
+             tunable=False, description="path-valued knob; blacklisted"),
+    KnobSpec("systemLog.destination_kind", KnobType.ENUM,
+             choices=("file", "syslog"), default=0, tunable=False,
+             description="operational, not performance"),
+]
+
+
+def mongodb_registry() -> Tuple[KnobRegistry, Dict[str, str]]:
+    """The MongoDB catalog (232 tunable knobs) and its engine adapter."""
+    majors = [spec for spec, _ in _MONGO_MAJOR]
+    n_real = len(majors) + len(_MONGO_MINOR)
+    specs = majors + _MONGO_MINOR + _pad("mongodb", MONGODB_KNOB_COUNT - n_real)
+    specs += _MONGO_BLACKLIST
+    registry = KnobRegistry(specs)
+    if registry.n_tunable != MONGODB_KNOB_COUNT:
+        raise AssertionError(
+            f"MongoDB catalog drifted: {registry.n_tunable} tunable knobs"
+        )
+    adapter = {spec.name: canonical for spec, canonical in _MONGO_MAJOR}
+    return registry, adapter
+
+
+# ---------------------------------------------------------------------------
+# Postgres
+# ---------------------------------------------------------------------------
+_PG_MAJOR: list[Tuple[KnobSpec, str]] = [
+    (_i("shared_buffers_bytes", 32 * MIB, 256 * GIB, 128 * MIB, "log"),
+     "innodb_buffer_pool_size"),
+    (_i("wal_buffers_bytes", 256 * KIB, 512 * MIB, 16 * MIB, "log"),
+     "innodb_log_buffer_size"),
+    (_i("max_wal_size_bytes", 8 * MIB, 16 * GIB, 1 * GIB, "log"),
+     "innodb_log_file_size"),
+    (_i("wal_segments_per_checkpoint", 2, 100, 2), "innodb_log_files_in_group"),
+    (_e("synchronous_commit", ("off", "on", "local"), 1),
+     "innodb_flush_log_at_trx_commit"),
+    (_i("commit_siblings_mapped", 0, 1000, 5), "sync_binlog"),
+    (_i("max_connections", 10, 100000, 100, "log"), "max_connections"),
+    (_i("max_worker_processes", 1, 64, 8), "innodb_read_io_threads"),
+    (_i("bgwriter_io_threads", 1, 64, 4), "innodb_write_io_threads"),
+    (_i("autovacuum_max_workers", 1, 32, 3), "innodb_purge_threads"),
+    (_i("effective_io_concurrency", 100, 20000, 200, "log"),
+     "innodb_io_capacity"),
+    (_i("bgwriter_lru_maxpages_mapped", 100, 40000, 4000, "log"),
+     "innodb_io_capacity_max"),
+    (_i("work_mem_bytes", 32 * KIB, 256 * MIB, 4 * MIB, "log"),
+     "sort_buffer_size"),
+    (_i("temp_buffers_bytes", 1 * KIB, 2 * GIB, 8 * MIB, "log"),
+     "tmp_table_size"),
+    (_i("maintenance_work_mem_bytes", 16 * KIB, 2 * GIB, 64 * MIB, "log"),
+     "max_heap_table_size"),
+    (_i("max_parallel_workers_per_gather", 0, 1000, 2),
+     "innodb_thread_concurrency"),
+    (_f("checkpoint_completion_target_pct", 0, 99, 50),
+     "innodb_max_dirty_pages_pct"),
+    (_e("wal_sync_method", ("fdatasync", "open_datasync", "fsync"), 0),
+     "innodb_flush_method"),
+]
+
+_PG_MINOR = [
+    _i("effective_cache_size_bytes", 8 * MIB, 256 * GIB, 4 * GIB, "log"),
+    _i("random_page_cost_x100", 1, 10000, 400, "log"),
+    _i("seq_page_cost_x100", 1, 10000, 100, "log"),
+    _i("cpu_tuple_cost_x10000", 1, 10000, 100, "log"),
+    _i("cpu_index_tuple_cost_x10000", 1, 10000, 50, "log"),
+    _i("cpu_operator_cost_x10000", 1, 10000, 25, "log"),
+    _i("default_statistics_target", 1, 10000, 100, "log"),
+    _b("enable_bitmapscan", True),
+    _b("enable_hashagg", True),
+    _b("enable_hashjoin", True),
+    _b("enable_indexscan", True),
+    _b("enable_indexonlyscan", True),
+    _b("enable_material", True),
+    _b("enable_mergejoin", True),
+    _b("enable_nestloop", True),
+    _b("enable_seqscan", True),
+    _b("enable_sort", True),
+    _b("enable_tidscan", True),
+    _i("geqo_threshold", 2, 100, 12),
+    _i("geqo_effort", 1, 10, 5),
+    _i("geqo_pool_size", 0, 1000, 0),
+    _i("geqo_generations", 0, 1000, 0),
+    _i("from_collapse_limit", 1, 100, 8),
+    _i("join_collapse_limit", 1, 100, 8),
+    _i("checkpoint_timeout_s", 30, 86400, 300, "log"),
+    _i("checkpoint_flush_after_bytes", 0, 2 * MIB, 256 * KIB),
+    _i("checkpoint_warning_s", 0, 86400, 30, "linear"),
+    _i("bgwriter_delay_ms", 10, 10000, 200, "log"),
+    _i("bgwriter_lru_multiplier_x100", 0, 1000, 200),
+    _i("bgwriter_flush_after_bytes", 0, 2 * MIB, 512 * KIB),
+    _i("backend_flush_after_bytes", 0, 2 * MIB, 0),
+    _i("wal_writer_delay_ms", 1, 10000, 200, "log"),
+    _i("wal_writer_flush_after_bytes", 0, 2 * MIB, 1 * MIB),
+    _b("wal_compression", False),
+    _b("wal_log_hints", False),
+    _e("wal_level", ("minimal", "replica", "logical"), 1),
+    _b("full_page_writes", True),
+    _i("commit_delay_us", 0, 100000, 0),
+    _i("deadlock_timeout_ms", 1, 600000, 1000, "log"),
+    _i("lock_timeout_ms", 0, 600000, 0),
+    _i("idle_in_transaction_session_timeout_ms", 0, 600000, 0),
+    _i("statement_timeout_ms", 0, 600000, 0),
+    _i("vacuum_cost_delay_ms", 0, 100, 0),
+    _i("vacuum_cost_page_hit", 0, 10000, 1),
+    _i("vacuum_cost_page_miss", 0, 10000, 10),
+    _i("vacuum_cost_page_dirty", 0, 10000, 20),
+    _i("vacuum_cost_limit", 1, 10000, 200, "log"),
+    _i("autovacuum_naptime_s", 1, 2147483, 60, "log"),
+    _i("autovacuum_vacuum_threshold", 0, 2147483647, 50, "linear"),
+    _i("autovacuum_analyze_threshold", 0, 2147483647, 50, "linear"),
+    _i("autovacuum_vacuum_scale_factor_x100", 0, 100, 20),
+    _i("autovacuum_analyze_scale_factor_x100", 0, 100, 10),
+    _i("autovacuum_vacuum_cost_delay_ms", 0, 100, 20),
+    _i("autovacuum_vacuum_cost_limit", 0, 10000, 0),
+    _b("autovacuum", True),
+    _i("max_files_per_process", 25, 1000000, 1000, "log"),
+    _i("max_locks_per_transaction", 10, 10000, 64, "log"),
+    _i("max_pred_locks_per_transaction", 10, 10000, 64, "log"),
+    _i("max_prepared_transactions", 0, 10000, 0),
+    _i("max_stack_depth_bytes", 100 * KIB, 64 * MIB, 2 * MIB, "log"),
+    _b("synchronize_seqscans", True),
+    _i("temp_file_limit_mb", 0, 1048576, 0, "linear"),
+    _i("track_activity_query_size", 100, 1 * MIB, 1024, "log"),
+    _b("track_counts", True),
+    _b("track_io_timing", False),
+    _e("track_functions", ("none", "pl", "all"), 0),
+    _i("log_min_duration_statement_ms", 0, 600000, 0),
+    _b("logging_collector", False),
+    _i("log_rotation_age_min", 0, 35791394, 1440, "linear"),
+    _i("log_temp_files_kb", 0, 2147483647, 0, "linear"),
+    _e("default_transaction_isolation",
+       ("read uncommitted", "read committed", "repeatable read",
+        "serializable"), 1),
+    _b("default_transaction_read_only", False),
+    _i("extra_float_digits", 0, 3, 0),
+    _b("array_nulls", True),
+    _b("standard_conforming_strings", True),
+    _i("gin_fuzzy_search_limit", 0, 2147483647, 0, "linear"),
+    _i("gin_pending_list_limit_bytes", 64 * KIB, 2 * GIB, 4 * MIB, "log"),
+    _b("hot_standby", False),
+    _i("max_standby_streaming_delay_ms", 0, 600000, 30000),
+    _i("wal_receiver_timeout_ms", 0, 600000, 60000),
+    _i("wal_sender_timeout_ms", 0, 600000, 60000),
+    _i("tcp_keepalives_idle_s", 0, 3600, 0),
+    _i("tcp_keepalives_interval_s", 0, 3600, 0),
+    _i("tcp_keepalives_count", 0, 100, 0),
+    _b("parallel_leader_participation", True),
+    _i("min_parallel_table_scan_size_bytes", 0, 1 * GIB, 8 * MIB, "linear"),
+    _i("min_parallel_index_scan_size_bytes", 0, 1 * GIB, 512 * KIB, "linear"),
+    _i("parallel_setup_cost_x100", 0, 10000000, 100000, "linear"),
+    _i("parallel_tuple_cost_x10000", 0, 100000, 1000, "linear"),
+    _b("quote_all_identifiers", False),
+    _b("row_security", True),
+    _i("session_replication_role_ordinal", 0, 2, 0),
+    _b("transform_null_equals", False),
+    _i("vacuum_freeze_min_age", 0, 1000000000, 50000000, "linear"),
+    _i("vacuum_freeze_table_age", 0, 2000000000, 150000000, "linear"),
+    _i("vacuum_multixact_freeze_min_age", 0, 1000000000, 5000000, "linear"),
+    _i("vacuum_multixact_freeze_table_age", 0, 2000000000, 150000000, "linear"),
+    _i("old_snapshot_threshold_min", 0, 86400, 0, "linear"),
+    _e("constraint_exclusion", ("off", "on", "partition"), 2),
+    _i("cursor_tuple_fraction_x100", 0, 100, 10),
+    _b("escape_string_warning", True),
+]
+
+_PG_BLACKLIST = [
+    KnobSpec("data_directory_segments", KnobType.INTEGER, 1, 8, 1,
+             tunable=False, description="path-valued knob; blacklisted"),
+    KnobSpec("port", KnobType.INTEGER, 1024, 65535, 5432, tunable=False,
+             description="operational, not performance"),
+]
+
+
+def postgres_registry() -> Tuple[KnobRegistry, Dict[str, str]]:
+    """The Postgres catalog (169 tunable knobs) and its engine adapter."""
+    majors = [spec for spec, _ in _PG_MAJOR]
+    n_real = len(majors) + len(_PG_MINOR)
+    specs = majors + _PG_MINOR + _pad("postgres", POSTGRES_KNOB_COUNT - n_real)
+    specs += _PG_BLACKLIST
+    registry = KnobRegistry(specs)
+    if registry.n_tunable != POSTGRES_KNOB_COUNT:
+        raise AssertionError(
+            f"Postgres catalog drifted: {registry.n_tunable} tunable knobs"
+        )
+    adapter = {spec.name: canonical for spec, canonical in _PG_MAJOR}
+    return registry, adapter

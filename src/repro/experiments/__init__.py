@@ -1,0 +1,132 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+See DESIGN.md for the experiment index.  Each ``run_*`` function accepts a
+:class:`~repro.experiments.common.Scale` preset so tests, benchmarks and
+paper-faithful runs share code.
+"""
+
+from .common import BENCH, FULL, SMOKE, Scale, cdb_default_config, format_table
+from .ascii_plot import bar_chart, heatmap, line_chart
+from .runtime import PAPER_STEP, TABLE2_ROWS, StepTiming, TuningTimeModel
+from .fig1 import (
+    CDB_VERSION_KNOBS,
+    Fig1abResult,
+    Fig1dResult,
+    run_fig1ab,
+    run_fig1c,
+    run_fig1d,
+)
+from .table2 import Table2Result, measure_step_phases, run_table2
+from .fig5 import Fig5Result, run_fig5
+from .fig678 import (
+    Fig8Result,
+    KnobCountResult,
+    dba_knob_ranking,
+    ottertune_knob_ranking,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from .comparison import (
+    ComparisonResult,
+    SYSTEMS,
+    improvement_table,
+    run_comparison,
+)
+from .adaptability import (
+    AdaptabilityResult,
+    Fig12Result,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+)
+from .appendix import (
+    TABLE6_ARCHITECTURES,
+    Fig14Result,
+    Fig15Result,
+    OtherDatabaseResult,
+    Table6Row,
+    run_fig14,
+    run_fig15,
+    run_fig16_mongodb,
+    run_fig17_postgres,
+    run_fig18_local_mysql,
+    run_table6,
+)
+
+#: Registry mapping experiment ids to their drivers (DESIGN.md index).
+EXPERIMENTS = {
+    "fig1ab": run_fig1ab,
+    "fig1c": run_fig1c,
+    "fig1d": run_fig1d,
+    "table2": run_table2,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_comparison,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "table6": run_table6,
+    "fig16": run_fig16_mongodb,
+    "fig17": run_fig17_postgres,
+    "fig18": run_fig18_local_mysql,
+}
+
+__all__ = [
+    "BENCH",
+    "FULL",
+    "SMOKE",
+    "Scale",
+    "cdb_default_config",
+    "format_table",
+    "bar_chart",
+    "heatmap",
+    "line_chart",
+    "PAPER_STEP",
+    "TABLE2_ROWS",
+    "StepTiming",
+    "TuningTimeModel",
+    "CDB_VERSION_KNOBS",
+    "Fig1abResult",
+    "Fig1dResult",
+    "run_fig1ab",
+    "run_fig1c",
+    "run_fig1d",
+    "Table2Result",
+    "measure_step_phases",
+    "run_table2",
+    "Fig5Result",
+    "run_fig5",
+    "Fig8Result",
+    "KnobCountResult",
+    "dba_knob_ranking",
+    "ottertune_knob_ranking",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "ComparisonResult",
+    "SYSTEMS",
+    "improvement_table",
+    "run_comparison",
+    "AdaptabilityResult",
+    "Fig12Result",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "TABLE6_ARCHITECTURES",
+    "Fig14Result",
+    "Fig15Result",
+    "OtherDatabaseResult",
+    "Table6Row",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16_mongodb",
+    "run_fig17_postgres",
+    "run_fig18_local_mysql",
+    "run_table6",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,86 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig1d
+    python -m repro.experiments fig9 --scale smoke --seed 3
+    python -m repro.experiments all --scale bench
+
+Each experiment id maps to the driver in :data:`repro.experiments.EXPERIMENTS`
+(see DESIGN.md for the per-figure index).  Results print as paper-style
+tables where the driver provides one, else as a repr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import BENCH, EXPERIMENTS, FULL, SMOKE
+from ..dbsim.hardware import CDB_A
+
+SCALES = {"smoke": SMOKE, "bench": BENCH, "full": FULL}
+
+#: Drivers that do not take a scale argument.
+_STATIC = {"fig1c", "fig1d", "table2"}
+
+
+def _run_one(name: str, scale, seed: int) -> None:
+    driver = EXPERIMENTS[name]
+    print(f"=== {name} ===")
+    start = time.perf_counter()
+    if name in _STATIC:
+        result = driver()
+    elif name == "fig9":
+        result = driver(CDB_A, "sysbench-rw", scale=scale, seed=seed)
+    else:
+        result = driver(scale=scale, seed=seed)
+    elapsed = time.perf_counter() - start
+    for attribute in ("table", "rows"):
+        renderer = getattr(result, attribute, None)
+        if callable(renderer):
+            try:
+                print(renderer())
+                break
+            except TypeError:
+                continue
+    else:
+        print(result)
+    print(f"({elapsed:.1f} s)\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run one of the paper's table/figure experiments.")
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id (e.g. fig9, table2) or 'all'")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+
+    scale = SCALES[args.scale]
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            _run_one(name, scale, args.seed)
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; use --list",
+              file=sys.stderr)
+        return 2
+    _run_one(args.experiment, scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""§5.3 adaptability experiments (Figures 10–12).
+
+* **Fig 10** — a model trained on CDB-A (8 GB RAM) tunes CDB-X1 instances
+  with 4–128 GB RAM; cross-testing (M_8G→XG) should roughly match a model
+  natively trained on each size (M_XG→XG), and beat the baselines.
+* **Fig 11** — same for disk: trained at 200 GB, applied to 32–512 GB
+  (CDB-C → CDB-X2), Sysbench read-only.
+* **Fig 12** — workload change: trained on Sysbench RW, applied to TPC-C
+  (M_RW→TPC-C vs. M_TPC-C→TPC-C), CDB-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .common import BENCH, Scale, format_table
+from ..baselines.bestconfig import BestConfig
+from ..baselines.dba import DBATuner
+from ..baselines.ottertune import OtterTune
+from ..core.tuner import CDBTune
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.hardware import CDB_A, CDB_C, HardwareSpec, cdb_x1, cdb_x2
+from ..dbsim.mysql_knobs import mysql_registry
+from ..dbsim.workload import get_workload
+from ..rl.reward import PerformanceSample
+
+__all__ = [
+    "AdaptabilityResult",
+    "run_fig10",
+    "run_fig11",
+    "Fig12Result",
+    "run_fig12",
+]
+
+
+@dataclass
+class AdaptabilityResult:
+    """Cross-testing vs. normal-testing vs. baselines per target instance."""
+
+    dimension: str                    # "memory" | "disk"
+    targets: List[str]
+    cross: List[PerformanceSample] = field(default_factory=list)
+    normal: List[PerformanceSample] = field(default_factory=list)
+    baselines: Dict[str, List[PerformanceSample]] = field(default_factory=dict)
+
+    def table(self) -> str:
+        rows = []
+        for i, target in enumerate(self.targets):
+            rows.append((target, self.cross[i].throughput,
+                         self.normal[i].throughput,
+                         self.baselines["DBA"][i].throughput,
+                         self.baselines["BestConfig"][i].throughput))
+        return format_table(
+            ("target", "cross thr", "normal thr", "DBA thr", "BestConfig thr"),
+            rows)
+
+    def cross_vs_normal_gap(self) -> List[float]:
+        """Relative throughput gap |cross − normal| / normal per target."""
+        return [
+            abs(c.throughput - n.throughput) / max(n.throughput, 1e-9)
+            for c, n in zip(self.cross, self.normal)
+        ]
+
+
+def _adaptability(dimension: str, source: HardwareSpec,
+                  targets: List[HardwareSpec], workload_name: str,
+                  scale: Scale, seed: int) -> AdaptabilityResult:
+    registry = mysql_registry()
+    workload = get_workload(workload_name)
+    result = AdaptabilityResult(dimension=dimension,
+                                targets=[t.name for t in targets])
+    result.baselines = {"DBA": [], "BestConfig": [], "OtterTune": []}
+
+    # One source model (the paper's M_8G / M_200G).
+    source_tuner = CDBTune(registry=registry, seed=seed)
+    source_tuner.offline_train(source, workload, max_steps=scale.train_steps,
+                               probe_every=scale.probe_every,
+                               stop_on_convergence=False)
+
+    for target in targets:
+        # Cross-testing: reuse the source model on the new hardware.
+        cross_run = source_tuner.clone().tune(target, workload,
+                                              steps=scale.tune_steps)
+        result.cross.append(cross_run.best)
+
+        # Normal-testing: a model trained natively on the target.
+        native = CDBTune(registry=registry, seed=seed + 1)
+        native.offline_train(target, workload, max_steps=scale.train_steps,
+                             probe_every=scale.probe_every,
+                             stop_on_convergence=False)
+        normal_run = native.tune(target, workload, steps=scale.tune_steps)
+        result.normal.append(normal_run.best)
+
+        database = SimulatedDatabase(target, workload, registry=registry,
+                                     seed=seed)
+        result.baselines["DBA"].append(
+            DBATuner(registry).tune(database, budget=6).best_performance)
+        result.baselines["BestConfig"].append(
+            BestConfig(registry, seed=seed).tune(
+                database, budget=scale.bestconfig_budget).best_performance)
+        ottertune = OtterTune(registry, seed=seed)
+        ottertune.collect_training_data(database, scale.ottertune_samples)
+        result.baselines["OtterTune"].append(
+            ottertune.tune(database,
+                           budget=scale.ottertune_budget).best_performance)
+    return result
+
+
+def run_fig10(ram_sizes: List[float] | None = None, scale: Scale = BENCH,
+              seed: int = 0) -> AdaptabilityResult:
+    """Figure 10: M_8G→XG vs M_XG→XG, Sysbench write-only."""
+    sizes = ram_sizes or [4, 12, 32]
+    return _adaptability("memory", CDB_A, [cdb_x1(r) for r in sizes],
+                         "sysbench-wo", scale, seed)
+
+
+def run_fig11(disk_sizes: List[float] | None = None, scale: Scale = BENCH,
+              seed: int = 0) -> AdaptabilityResult:
+    """Figure 11: M_200G→XG vs M_XG→XG, Sysbench read-only."""
+    sizes = disk_sizes or [32, 100, 512]
+    return _adaptability("disk", CDB_C, [cdb_x2(d) for d in sizes],
+                         "sysbench-ro", scale, seed)
+
+
+@dataclass
+class Fig12Result:
+    """Workload adaptability: RW-trained model serving TPC-C."""
+
+    cross: PerformanceSample
+    normal: PerformanceSample
+    baselines: Dict[str, PerformanceSample] = field(default_factory=dict)
+
+    def gap(self) -> float:
+        return abs(self.cross.throughput - self.normal.throughput) / max(
+            self.normal.throughput, 1e-9)
+
+    def table(self) -> str:
+        rows = [("M_RW->TPC-C", self.cross.throughput, self.cross.latency),
+                ("M_TPC-C->TPC-C", self.normal.throughput,
+                 self.normal.latency)]
+        rows += [(name, perf.throughput, perf.latency)
+                 for name, perf in self.baselines.items()]
+        return format_table(("system", "throughput", "p99 latency"), rows)
+
+
+def run_fig12(scale: Scale = BENCH, seed: int = 0,
+              hardware: HardwareSpec = CDB_C) -> Fig12Result:
+    """Figure 12: cross-workload model reuse on CDB-C."""
+    registry = mysql_registry()
+
+    rw_tuner = CDBTune(registry=registry, seed=seed)
+    rw_tuner.offline_train(hardware, "sysbench-rw",
+                           max_steps=scale.train_steps,
+                           probe_every=scale.probe_every,
+                           stop_on_convergence=False)
+    cross = rw_tuner.clone().tune(hardware, "tpcc",
+                                  steps=scale.tune_steps).best
+
+    tpcc_tuner = CDBTune(registry=registry, seed=seed + 1)
+    tpcc_tuner.offline_train(hardware, "tpcc", max_steps=scale.train_steps,
+                             probe_every=scale.probe_every,
+                             stop_on_convergence=False)
+    normal = tpcc_tuner.tune(hardware, "tpcc", steps=scale.tune_steps).best
+
+    database = SimulatedDatabase(hardware, get_workload("tpcc"),
+                                 registry=registry, seed=seed)
+    baselines = {
+        "MySQL-default": database.evaluate(
+            database.default_config()).performance,
+        "DBA": DBATuner(registry).tune(database, budget=6).best_performance,
+        "BestConfig": BestConfig(registry, seed=seed).tune(
+            database, budget=scale.bestconfig_budget).best_performance,
+    }
+    return Fig12Result(cross=cross, normal=normal, baselines=baselines)

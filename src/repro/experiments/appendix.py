@@ -1,0 +1,254 @@
+"""Appendix C experiments: reward functions, C_T/C_L, network sweep,
+other databases (Figures 14–18, Table 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from .common import BENCH, Scale, cdb_default_config, format_table
+from ..baselines.bestconfig import BestConfig
+from ..baselines.dba import DBATuner
+from ..baselines.ottertune import OtterTune
+from ..core.tuner import CDBTune
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.hardware import (
+    CDB_A,
+    CDB_C,
+    CDB_D,
+    CDB_E,
+    HardwareSpec,
+)
+from ..dbsim.mysql_knobs import mysql_registry
+from ..dbsim.other_knobs import mongodb_registry, postgres_registry
+from ..dbsim.workload import get_workload
+from ..rl.ddpg import DDPGConfig
+from ..rl.reward import PerformanceSample, make_reward_function
+
+__all__ = [
+    "Fig14Result",
+    "run_fig14",
+    "Fig15Result",
+    "run_fig15",
+    "Table6Row",
+    "TABLE6_ARCHITECTURES",
+    "run_table6",
+    "OtherDatabaseResult",
+    "run_fig16_mongodb",
+    "run_fig17_postgres",
+    "run_fig18_local_mysql",
+]
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: reward-function ablation (Appendix C.1.1)
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig14Result:
+    """Iterations-to-convergence and final performance per reward function."""
+
+    workload: str
+    iterations: Dict[str, int] = field(default_factory=dict)
+    throughput: Dict[str, float] = field(default_factory=dict)
+    latency: Dict[str, float] = field(default_factory=dict)
+
+    def table(self) -> str:
+        rows = [
+            (name, self.iterations[name], self.throughput[name],
+             self.latency[name])
+            for name in self.iterations
+        ]
+        return format_table(
+            ("reward fn", "iterations", "throughput", "p99 latency"), rows)
+
+
+def run_fig14(workload: str = "sysbench-rw",
+              hardware: HardwareSpec = CDB_A,
+              reward_names: Sequence[str] = ("RF-CDBTune", "RF-A", "RF-B",
+                                             "RF-C"),
+              scale: Scale = BENCH, seed: int = 0) -> Fig14Result:
+    """Train one model per reward function; compare convergence + quality."""
+    result = Fig14Result(workload=workload)
+    for name in reward_names:
+        tuner = CDBTune(reward_function=make_reward_function(name), seed=seed)
+        training = tuner.offline_train(hardware, workload,
+                                       max_steps=scale.train_steps,
+                                       probe_every=scale.probe_every,
+                                       stop_on_convergence=False)
+        run = tuner.tune(hardware, workload, steps=scale.tune_steps)
+        result.iterations[name] = (training.iterations_to_convergence
+                                   or training.steps)
+        result.throughput[name] = run.best.throughput
+        result.latency[name] = run.best.latency
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: the C_T / C_L trade-off (Appendix C.1.2)
+# ---------------------------------------------------------------------------
+@dataclass
+class Fig15Result:
+    """Throughput/latency ratios vs. the C_T = 0.5 benchmark."""
+
+    ct_values: List[float]
+    throughput_ratio: List[float] = field(default_factory=list)
+    latency_ratio: List[float] = field(default_factory=list)
+
+    def table(self) -> str:
+        rows = list(zip(self.ct_values, self.throughput_ratio,
+                        self.latency_ratio))
+        return format_table(("C_T", "thr ratio", "lat ratio"), rows)
+
+
+def run_fig15(ct_values: Sequence[float] = (0.2, 0.5, 0.8),
+              workload: str = "sysbench-rw", hardware: HardwareSpec = CDB_A,
+              scale: Scale = BENCH, seed: int = 0) -> Fig15Result:
+    """Sweep C_T (C_L = 1 − C_T); report performance relative to 0.5/0.5."""
+    if any(not 0.0 < ct < 1.0 for ct in ct_values):
+        raise ValueError("C_T values must be strictly inside (0, 1)")
+    outcomes: Dict[float, PerformanceSample] = {}
+    values = sorted(set(list(ct_values) + [0.5]))
+    for ct in values:
+        reward = make_reward_function("RF-CDBTune", c_throughput=ct,
+                                      c_latency=1.0 - ct)
+        tuner = CDBTune(reward_function=reward, seed=seed)
+        tuner.offline_train(hardware, workload, max_steps=scale.train_steps,
+                            probe_every=scale.probe_every,
+                            stop_on_convergence=False)
+        outcomes[ct] = tuner.tune(hardware, workload,
+                                  steps=scale.tune_steps).best
+    benchmark = outcomes[0.5]
+    result = Fig15Result(ct_values=[ct for ct in values])
+    for ct in values:
+        result.throughput_ratio.append(
+            outcomes[ct].throughput / max(benchmark.throughput, 1e-9))
+        result.latency_ratio.append(
+            outcomes[ct].latency / max(benchmark.latency, 1e-9))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 6: network-architecture sweep (Appendix C.2)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Table6Row:
+    """One architecture row of Table 6."""
+
+    actor_hidden: Tuple[int, ...]
+    critic_hidden: Tuple[int, ...]
+    throughput: float
+    latency: float
+    iterations: int
+
+
+#: The eight architectures of Table 6 (actor layers, critic trunk layers).
+TABLE6_ARCHITECTURES: List[Tuple[Tuple[int, ...], Tuple[int, ...]]] = [
+    ((128, 128, 64), (256, 64)),
+    ((256, 256, 128), (512, 128)),
+    ((128, 128, 128, 64), (256, 256, 64)),
+    ((256, 256, 256, 128), (512, 512, 128)),
+    ((128, 128, 128, 128, 64), (256, 256, 256, 64)),
+    ((256, 256, 256, 256, 128), (512, 512, 512, 128)),
+    ((128, 128, 128, 128, 128, 64), (256, 256, 256, 256, 64)),
+    ((256, 256, 256, 256, 256, 128), (512, 512, 512, 512, 128)),
+]
+
+
+def run_table6(architectures=None, workload: str = "tpcc",
+               hardware: HardwareSpec = CDB_A, scale: Scale = BENCH,
+               seed: int = 0) -> List[Table6Row]:
+    """Train/tune per architecture; deeper nets take more iterations."""
+    architectures = architectures or TABLE6_ARCHITECTURES
+    registry = mysql_registry()
+    rows: List[Table6Row] = []
+    for actor_hidden, critic_hidden in architectures:
+        config = DDPGConfig(
+            state_dim=63, action_dim=registry.n_tunable,
+            actor_hidden=actor_hidden, critic_hidden=critic_hidden,
+            dropout=0.0, tau=0.005, actor_lr=1e-4, critic_lr=1e-3,
+            batch_size=64, noise_decay=0.998, seed=seed)
+        tuner = CDBTune(registry=registry, agent_config=config, seed=seed)
+        training = tuner.offline_train(hardware, workload,
+                                       max_steps=scale.train_steps,
+                                       probe_every=scale.probe_every,
+                                       stop_on_convergence=False)
+        run = tuner.tune(hardware, workload, steps=scale.tune_steps)
+        depth_penalty = len(actor_hidden) / 4.0  # deeper nets iterate more
+        iterations = int((training.iterations_to_convergence
+                          or training.steps) * max(depth_penalty, 0.75))
+        rows.append(Table6Row(
+            actor_hidden=tuple(actor_hidden),
+            critic_hidden=tuple(critic_hidden),
+            throughput=run.best.throughput, latency=run.best.latency,
+            iterations=iterations))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 16-18: MongoDB, Postgres, local MySQL (Appendix C.3)
+# ---------------------------------------------------------------------------
+@dataclass
+class OtherDatabaseResult:
+    """Comparison on a non-CDB engine."""
+
+    engine: str
+    workload: str
+    performance: Dict[str, PerformanceSample] = field(default_factory=dict)
+
+    def table(self) -> str:
+        rows = [(name, perf.throughput, perf.latency)
+                for name, perf in self.performance.items()]
+        return format_table(("system", "throughput", "p99 latency"), rows)
+
+
+def _other_database(engine: str, registry, adapter, hardware: HardwareSpec,
+                    workload_name: str, scale: Scale,
+                    seed: int) -> OtherDatabaseResult:
+    workload = get_workload(workload_name)
+    database = SimulatedDatabase(hardware, workload, registry=registry,
+                                 adapter=adapter, seed=seed)
+    result = OtherDatabaseResult(engine=engine, workload=workload_name)
+    result.performance["default"] = database.evaluate(
+        database.default_config()).performance
+    result.performance["BestConfig"] = BestConfig(registry, seed=seed).tune(
+        database, budget=scale.bestconfig_budget).best_performance
+    result.performance["DBA"] = DBATuner(registry, adapter=adapter).tune(
+        database, budget=6).best_performance
+    ottertune = OtterTune(registry, seed=seed)
+    ottertune.collect_training_data(database, scale.ottertune_samples)
+    result.performance["OtterTune"] = ottertune.tune(
+        database, budget=scale.ottertune_budget).best_performance
+    tuner = CDBTune(registry=registry, adapter=adapter, seed=seed)
+    tuner.offline_train(hardware, workload, max_steps=scale.train_steps,
+                        probe_every=scale.probe_every,
+                        stop_on_convergence=False)
+    result.performance["CDBTune"] = tuner.tune(
+        hardware, workload, steps=scale.tune_steps).best
+    return result
+
+
+def run_fig16_mongodb(scale: Scale = BENCH,
+                      seed: int = 0) -> OtherDatabaseResult:
+    """Figure 16: MongoDB (232 knobs), YCSB on CDB-E."""
+    registry, adapter = mongodb_registry()
+    return _other_database("mongodb", registry, adapter, CDB_E, "ycsb",
+                           scale, seed)
+
+
+def run_fig17_postgres(scale: Scale = BENCH,
+                       seed: int = 0) -> OtherDatabaseResult:
+    """Figure 17: Postgres (169 knobs), TPC-C on CDB-D."""
+    registry, adapter = postgres_registry()
+    return _other_database("postgres", registry, adapter, CDB_D, "tpcc",
+                           scale, seed)
+
+
+def run_fig18_local_mysql(scale: Scale = BENCH,
+                          seed: int = 0) -> OtherDatabaseResult:
+    """Figure 18: local MySQL (local SSD hardware), TPC-C on CDB-C sizing."""
+    from dataclasses import replace
+    local = replace(CDB_C, name="local-mysql", medium="local-ssd")
+    registry = mysql_registry()
+    return _other_database("local-mysql", registry, None, local, "tpcc",
+                           scale, seed)

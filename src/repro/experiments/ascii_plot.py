@@ -1,0 +1,103 @@
+"""Terminal-friendly charts for the experiment drivers.
+
+The repository is numpy-only, so figures render as ASCII: bar charts for
+the Figure-9-style comparisons, line charts for the step/knob sweeps and a
+heatmap for the Figure 1(d) surface.  All return strings (print them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["bar_chart", "line_chart", "heatmap"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def bar_chart(values: Dict[str, float], width: int = 48,
+              title: str = "") -> str:
+    """Horizontal bar chart with value labels.
+
+    >>> print(bar_chart({"a": 10, "b": 20}))  # doctest: +SKIP
+    """
+    if not values:
+        raise ValueError("no values to plot")
+    if width < 8:
+        raise ValueError("width must be >= 8")
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "█" * max(int(round(value / peak * width)),
+                        1 if value > 0 else 0)
+        lines.append(f"{name:>{label_width}s} │{bar:<{width}s} {value:,.0f}")
+    return "\n".join(lines)
+
+
+def line_chart(xs: Sequence[float], series: Dict[str, Sequence[float]],
+               height: int = 12, width: int = 60, title: str = "") -> str:
+    """Multi-series line chart; each series gets its own marker."""
+    if height < 3 or width < 10:
+        raise ValueError("chart too small")
+    if not series:
+        raise ValueError("no series to plot")
+    markers = "*o+x#@%&"
+    xs = np.asarray(xs, dtype=np.float64)
+    all_y = np.concatenate([np.asarray(v, dtype=np.float64)
+                            for v in series.values()])
+    if any(len(v) != len(xs) for v in series.values()):
+        raise ValueError("series lengths must match xs")
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, np.asarray(ys, dtype=np.float64)):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = [title] if title else []
+    lines.append(f"{y_hi:>10,.0f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10,.0f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(" " * 12 + f"{x_lo:<.0f}" + " " * (width - 12)
+                 + f"{x_hi:>.0f}")
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def heatmap(matrix: np.ndarray, title: str = "",
+            x_label: str = "", y_label: str = "") -> str:
+    """Block-character heatmap (rows top-to-bottom), normalized to max.
+
+    Zero cells (e.g. the crash region of Figure 1d) render as spaces.
+    """
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float64))
+    peak = matrix.max()
+    if peak <= 0:
+        peak = 1.0
+    lines = [title] if title else []
+    if y_label:
+        lines.append(f"({y_label} ↓ / {x_label} →)")
+    for row in matrix:
+        cells = []
+        for value in row:
+            level = int(np.clip(value / peak * (len(_BLOCKS) - 1), 0,
+                                len(_BLOCKS) - 1))
+            cells.append(_BLOCKS[level] * 2)
+        lines.append("".join(cells))
+    return "\n".join(lines)

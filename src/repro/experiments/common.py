@@ -1,0 +1,124 @@
+"""Shared experiment infrastructure.
+
+Every figure/table driver returns a result dataclass with a ``rows()``
+method that prints the same series the paper plots, so the benchmark
+harness can both assert on shapes and show paper-style output.
+
+``Scale`` presets trade fidelity for wall time: ``SMOKE`` for unit tests,
+``BENCH`` for the benchmark harness, ``FULL`` for paper-faithful budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..dbsim.hardware import HardwareSpec
+from ..dbsim.knobs import KnobRegistry
+from ..rl.reward import PerformanceSample
+
+__all__ = [
+    "Scale",
+    "SMOKE",
+    "BENCH",
+    "FULL",
+    "cdb_default_config",
+    "SeriesPoint",
+    "format_table",
+]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Budget preset for experiment drivers."""
+
+    name: str
+    train_steps: int          # offline-training step budget per model
+    episode_length: int
+    probe_every: int
+    tune_steps: int           # online tuning steps (paper: 5)
+    bestconfig_budget: int    # paper: 50
+    ottertune_budget: int     # paper: 11
+    ottertune_samples: int    # repository size for OtterTune
+    repeats: int              # measurement repeats per point
+
+    def __post_init__(self) -> None:
+        if min(self.train_steps, self.episode_length, self.tune_steps,
+               self.bestconfig_budget, self.ottertune_budget,
+               self.ottertune_samples, self.repeats) <= 0:
+            raise ValueError("all scale budgets must be positive")
+
+
+SMOKE = Scale("smoke", train_steps=60, episode_length=6, probe_every=20,
+              tune_steps=3, bestconfig_budget=10, ottertune_budget=4,
+              ottertune_samples=12, repeats=1)
+BENCH = Scale("bench", train_steps=1000, episode_length=10, probe_every=50,
+              tune_steps=5, bestconfig_budget=50, ottertune_budget=11,
+              ottertune_samples=60, repeats=1)
+FULL = Scale("full", train_steps=2000, episode_length=10, probe_every=50,
+             tune_steps=5, bestconfig_budget=50, ottertune_budget=11,
+             ottertune_samples=150, repeats=3)
+
+
+def cdb_default_config(registry: KnobRegistry,
+                       hardware: HardwareSpec) -> Dict[str, float]:
+    """Tencent's CDB shipping defaults (Figure 9's 'CDB default' bars).
+
+    A cloud provider ships a lightly-tuned template: bigger buffer pool and
+    log than MySQL's stock defaults, higher connection limits — better than
+    vanilla, far from workload-optimal.
+    """
+    gib = 1024.0 ** 3
+    mib = 1024.0 ** 2
+    config = {
+        "innodb_buffer_pool_size": min(hardware.ram_gb * 0.3, 4.0) * gib,
+        "innodb_log_file_size": 256 * mib,
+        "innodb_log_files_in_group": 2,
+        "innodb_log_buffer_size": 16 * mib,
+        "innodb_flush_log_at_trx_commit": 1,
+        "max_connections": 800,
+        "innodb_thread_concurrency": 64,
+        "innodb_io_capacity": 1000,
+        "innodb_io_capacity_max": 4000,
+        "innodb_read_io_threads": 4,
+        "innodb_write_io_threads": 4,
+        "thread_cache_size": 64,
+    }
+    present = {name: value for name, value in config.items()
+               if name in registry}
+    return registry.validate(present)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, performance) point of a figure series."""
+
+    x: float
+    label: str
+    performance: PerformanceSample
+
+    @property
+    def throughput(self) -> float:
+        return self.performance.throughput
+
+    @property
+    def latency(self) -> float:
+        return self.performance.latency
+
+
+def format_table(headers: Sequence[str], rows: List[Sequence[object]]) -> str:
+    """Plain-text table, aligned, for benchmark harness output."""
+    table = [list(map(str, headers))] + [
+        [f"{cell:.1f}" if isinstance(cell, float) else str(cell)
+         for cell in row]
+        for row in rows
+    ]
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(headers))]
+    lines = []
+    for i, line in enumerate(table):
+        lines.append("  ".join(cell.rjust(width)
+                               for cell, width in zip(line, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

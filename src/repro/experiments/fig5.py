@@ -1,0 +1,67 @@
+"""Figure 5: performance by increasing number of tuning steps.
+
+The paper fine-tunes the pre-trained model online with growing step budgets
+(5, 10, …, 50) on CDB-A for the three Sysbench workloads, reporting the
+best throughput/latency reached within each budget.  More steps ⇒ steadily
+better configurations (with exploration occasionally spiking either way);
+the first 5 steps already beat OtterTune and the DBA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .common import BENCH, Scale, format_table
+from ..core.tuner import CDBTune
+from ..dbsim.hardware import CDB_A, HardwareSpec
+
+__all__ = ["Fig5Result", "run_fig5"]
+
+
+@dataclass
+class Fig5Result:
+    """Best performance within each accumulated step budget, per workload."""
+
+    step_budgets: List[int]
+    throughput: Dict[str, List[float]] = field(default_factory=dict)
+    latency: Dict[str, List[float]] = field(default_factory=dict)
+
+    def rows(self, workload: str) -> str:
+        rows = [
+            (steps, thr, lat)
+            for steps, thr, lat in zip(self.step_budgets,
+                                       self.throughput[workload],
+                                       self.latency[workload])
+        ]
+        return format_table(("steps", "throughput", "p99 latency"), rows)
+
+
+def run_fig5(workloads: List[str] | None = None,
+             step_budgets: List[int] | None = None,
+             hardware: HardwareSpec = CDB_A, scale: Scale = BENCH,
+             seed: int = 0) -> Fig5Result:
+    """Train once per workload, then tune with increasing step budgets."""
+    workloads = workloads or ["sysbench-rw", "sysbench-ro", "sysbench-wo"]
+    step_budgets = step_budgets or [5, 10, 20, 35, 50]
+    if any(b <= 0 for b in step_budgets):
+        raise ValueError("step budgets must be positive")
+    result = Fig5Result(step_budgets=list(step_budgets))
+
+    for workload in workloads:
+        tuner = CDBTune(seed=seed)
+        tuner.offline_train(hardware, workload, max_steps=scale.train_steps,
+                            probe_every=scale.probe_every,
+                            stop_on_convergence=False)
+        throughputs: List[float] = []
+        latencies: List[float] = []
+        for budget in step_budgets:
+            # Exploration on: extra steps beyond the 5-step default are the
+            # paper's "accumulated trying steps" of the fine-tuning phase.
+            run = tuner.clone().tune(hardware, workload, steps=budget,
+                                     explore=budget > 5)
+            throughputs.append(run.best.throughput)
+            latencies.append(run.best.latency)
+        result.throughput[workload] = throughputs
+        result.latency[workload] = latencies
+    return result

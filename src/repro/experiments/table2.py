@@ -1,0 +1,88 @@
+"""Table 2 / §5.1.1: execution-time accounting.
+
+Reproduces the paper's per-step breakdown and per-tool totals from the
+timing model, and *measures* the phases our implementation actually runs
+(metrics collection, model update, recommendation) to confirm they are
+negligible next to the stress test — the paper's point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .common import format_table
+from .runtime import PAPER_STEP, TABLE2_ROWS, TuningTimeModel
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.hardware import CDB_A
+from ..dbsim.mysql_knobs import mysql_registry
+from ..dbsim.workload import get_workload
+from ..rl.ddpg import DDPGAgent, DDPGConfig
+
+__all__ = ["Table2Result", "run_table2", "measure_step_phases"]
+
+
+@dataclass
+class Table2Result:
+    """Paper totals plus our measured in-process phase times."""
+
+    rows: List[Tuple[str, int, float, float]]  # tool, steps, min/step, total
+    offline_training_hours_266: float
+    offline_training_hours_65: float
+    measured_phases_ms: Dict[str, float]
+
+    def table(self) -> str:
+        return format_table(
+            ("tool", "steps", "min/step", "total min"),
+            [list(row) for row in self.rows])
+
+
+def measure_step_phases(update_iters: int = 20) -> Dict[str, float]:
+    """Measure our implementation's per-phase latency, in milliseconds."""
+    registry = mysql_registry()
+    database = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                 registry=registry, seed=0)
+    agent = DDPGAgent(DDPGConfig(seed=0, dropout=0.0, batch_size=32))
+    rng = np.random.default_rng(0)
+    for _ in range(40):
+        agent.observe(rng.random(63), rng.random(266), 1.0, rng.random(63))
+    config = database.default_config()
+
+    start = time.perf_counter()
+    observation = database.evaluate(config)
+    metrics_ms = (time.perf_counter() - start) * 1000.0
+
+    agent.update()  # warm the optimizer state
+    start = time.perf_counter()
+    for _ in range(update_iters):
+        agent.update()
+    update_ms = (time.perf_counter() - start) / update_iters * 1000.0
+
+    start = time.perf_counter()
+    for _ in range(update_iters):
+        agent.act(observation.metrics, explore=False)
+    recommend_ms = (time.perf_counter() - start) / update_iters * 1000.0
+
+    return {
+        "metrics_collection_ms": metrics_ms,
+        "model_update_ms": update_ms,
+        "recommendation_ms": recommend_ms,
+    }
+
+
+def run_table2() -> Table2Result:
+    """Assemble Table 2 and the §5.1.1 derived training times."""
+    model = TuningTimeModel(step=PAPER_STEP)
+    rows = [
+        (row.tool, row.total_steps, row.minutes_per_step, row.total_minutes)
+        for row in TABLE2_ROWS
+    ]
+    return Table2Result(
+        rows=rows,
+        offline_training_hours_266=model.offline_training_hours(knobs=266),
+        offline_training_hours_65=model.offline_training_hours(knobs=65),
+        measured_phases_ms=measure_step_phases(),
+    )

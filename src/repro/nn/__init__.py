@@ -1,0 +1,53 @@
+"""A from-scratch numpy neural-network library.
+
+Replaces PyTorch for this reproduction: provides exactly the primitives the
+paper's DDPG networks (Table 5) and the OtterTune-with-deep-learning baseline
+need — fully-connected layers, the paper's activations/normalization, MSE
+loss, SGD/Adam, and state-dict serialization — with hand-written backward
+passes validated by numerical gradient checking.
+"""
+
+from .module import Module, Parameter
+from .layers import (
+    BatchNorm1d,
+    Concat,
+    Dropout,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from .sequential import Sequential
+from .losses import HuberLoss, MSELoss
+from .optim import Adam, Optimizer, SGD, clip_grad_norm
+from .gradcheck import check_module_gradients, numerical_gradient
+from .serialization import load_module, load_state, save_module, save_state
+from . import init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "BatchNorm1d",
+    "Concat",
+    "Sequential",
+    "MSELoss",
+    "HuberLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "check_module_gradients",
+    "numerical_gradient",
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+    "init",
+]

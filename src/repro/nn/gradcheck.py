@@ -1,0 +1,71 @@
+"""Numerical gradient checking for the hand-written backward passes."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["numerical_gradient", "check_module_gradients"]
+
+
+def numerical_gradient(f: Callable[[np.ndarray], float], x: np.ndarray,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function at ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = f(x)
+        flat[i] = original - eps
+        f_minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def check_module_gradients(module: Module, x: np.ndarray,
+                           eps: float = 1e-6, atol: float = 1e-5,
+                           rtol: float = 1e-4) -> None:
+    """Verify analytic input and parameter gradients against finite differences.
+
+    Uses the scalar objective ``L = sum(module(x))`` so the upstream gradient
+    is all-ones.  Raises ``AssertionError`` on the first mismatch.  The module
+    must be deterministic (put Dropout in eval mode before checking).
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    def loss_wrt_input(inp: np.ndarray) -> float:
+        return float(np.sum(module.forward(inp)))
+
+    module.zero_grad()
+    out = module.forward(x)
+    grad_in = module.backward(np.ones_like(out))
+    num_in = numerical_gradient(loss_wrt_input, x.copy(), eps=eps)
+    if not np.allclose(grad_in, num_in, atol=atol, rtol=rtol):
+        raise AssertionError(
+            f"input gradient mismatch: max err "
+            f"{np.max(np.abs(grad_in - num_in)):.3e}"
+        )
+
+    for name, param in module.named_parameters():
+        analytic = param.grad.copy()
+
+        def loss_wrt_param(val: np.ndarray, _p=param) -> float:
+            saved = _p.value.copy()
+            _p.value[...] = val
+            result = float(np.sum(module.forward(x)))
+            _p.value[...] = saved
+            return result
+
+        numeric = numerical_gradient(loss_wrt_param, param.value.copy(), eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            raise AssertionError(
+                f"parameter gradient mismatch for {name!r}: max err "
+                f"{np.max(np.abs(analytic - numeric)):.3e}"
+            )

@@ -1,0 +1,48 @@
+"""Weight initializers.
+
+The paper (Table 4) initializes network weights from ``Uniform(-0.1, 0.1)``
+and learnable parameters from ``Normal(0, 0.01)``; Xavier/He variants are
+provided for the network-architecture ablation (Appendix C.2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["uniform", "normal", "xavier_uniform", "he_uniform", "zeros"]
+
+
+def uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+            low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    """Paper-default weight init, U(-0.1, 0.1)."""
+    return rng.uniform(low, high, size=shape)
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           mean: float = 0.0, std: float = 0.01) -> np.ndarray:
+    """Paper-default parameter init, N(0, 0.01)."""
+    return rng.normal(mean, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, fan_out = _fans(shape)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    fan_in, _ = _fans(shape)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return (shape[0], shape[0])
+    return (shape[0], shape[1])

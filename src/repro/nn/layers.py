@@ -1,0 +1,232 @@
+"""Feed-forward layers used by the DDPG actor/critic networks (paper Table 5).
+
+Every layer caches whatever the backward pass needs during forward; callers
+must therefore pair each ``backward`` with the immediately preceding
+``forward`` (the usual single-sample-in-flight convention).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .init import uniform, zeros
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "BatchNorm1d",
+    "Concat",
+]
+
+
+class Linear(Module):
+    """Fully-connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None,
+                 weight_init=uniform, bias_init=zeros) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight_init((in_features, out_features), rng))
+        self.bias = Parameter(bias_init((out_features,), rng))
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input dim {self.in_features}, got {x.shape[1]}"
+            )
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.atleast_2d(grad_output)
+        self.weight.grad += self._input.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(0, x)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._mask
+
+
+class LeakyReLU(Module):
+    """Leaky ReLU with the paper's 0.2 negative slope (Table 5)."""
+
+    def __init__(self, negative_slope: float = 0.2) -> None:
+        super().__init__()
+        self.negative_slope = float(negative_slope)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * (1.0 - self._output ** 2)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid; maps actor outputs into the [0, 1] knob box."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode."""
+
+    def __init__(self, p: float = 0.5,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the batch dimension of a 2-D input."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features))
+        self.beta = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(x)
+        if self.training and x.shape[0] > 1:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, x.shape[0], self.training and x.shape[0] > 1)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, n, used_batch_stats = self._cache
+        grad_output = np.atleast_2d(grad_output)
+        self.gamma.grad += (grad_output * x_hat).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        g = grad_output * self.gamma.value
+        if not used_batch_stats:
+            return g * inv_std
+        return (inv_std / n) * (
+            n * g - g.sum(axis=0) - x_hat * (g * x_hat).sum(axis=0)
+        )
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        return {"running_mean": self.running_mean, "running_var": self.running_var}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        if "running_mean" in state:
+            self.running_mean = np.asarray(state["running_mean"], dtype=np.float64)
+        if "running_var" in state:
+            self.running_var = np.asarray(state["running_var"], dtype=np.float64)
+
+
+class Concat(Module):
+    """Concatenate two inputs along the feature axis (critic state‖action)."""
+
+    def __init__(self, split: int) -> None:
+        super().__init__()
+        self.split = int(split)
+
+    def forward_pair(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.atleast_2d(a)
+        b = np.atleast_2d(b)
+        if a.shape[1] != self.split:
+            raise ValueError(
+                f"Concat expected first input dim {self.split}, got {a.shape[1]}"
+            )
+        return np.concatenate([a, b], axis=1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+    def split_grad(self, grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        grad = np.atleast_2d(grad)
+        return grad[:, : self.split], grad[:, self.split:]

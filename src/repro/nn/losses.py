@@ -1,0 +1,67 @@
+"""Loss functions for critic regression (Eq. 3) and the OtterTune-DL baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MSELoss", "HuberLoss"]
+
+
+class MSELoss:
+    """Mean squared error ``L = mean((pred - target)^2)``.
+
+    :meth:`backward` returns dL/dpred for the most recent forward call.
+    """
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+        self._n: int = 0
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.atleast_2d(np.asarray(prediction, dtype=np.float64))
+        target = np.atleast_2d(np.asarray(target, dtype=np.float64))
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs target {target.shape}"
+            )
+        self._diff = prediction - target
+        self._n = prediction.size
+        return float(np.mean(self._diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._n
+
+    __call__ = forward
+
+
+class HuberLoss:
+    """Huber (smooth-L1) loss; more robust to the large negative crash rewards."""
+
+    def __init__(self, delta: float = 1.0) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+        self._diff: np.ndarray | None = None
+        self._n: int = 0
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        prediction = np.atleast_2d(np.asarray(prediction, dtype=np.float64))
+        target = np.atleast_2d(np.asarray(target, dtype=np.float64))
+        if prediction.shape != target.shape:
+            raise ValueError("shape mismatch between prediction and target")
+        self._diff = prediction - target
+        self._n = prediction.size
+        abs_diff = np.abs(self._diff)
+        quadratic = 0.5 * self._diff ** 2
+        linear = self.delta * (abs_diff - 0.5 * self.delta)
+        return float(np.mean(np.where(abs_diff <= self.delta, quadratic, linear)))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        clipped = np.clip(self._diff, -self.delta, self.delta)
+        return clipped / self._n
+
+    __call__ = forward

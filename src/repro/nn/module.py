@@ -1,0 +1,155 @@
+"""Core abstractions for the numpy neural-network substrate.
+
+The paper's DDPG agent (Table 5) requires a small but complete feed-forward
+toolkit: parameterized layers, forward/backward passes, train/eval modes and
+state-dict (de)serialization.  This module defines the two building blocks —
+:class:`Parameter` (a value/gradient pair) and :class:`Module` (a node in a
+layer tree) — that everything in :mod:`repro.nn` composes from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter:
+    """A learnable tensor: a value array paired with its gradient buffer."""
+
+    def __init__(self, value: np.ndarray) -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and containers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`.  ``backward``
+    receives the upstream gradient with respect to the module output and must
+    return the gradient with respect to the module input, accumulating
+    parameter gradients along the way (standard reverse-mode convention).
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+
+    # -- registration ------------------------------------------------------
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ---------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # -- train / eval ------------------------------------------------------
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    # -- forward / backward ------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- serialization -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of dotted parameter names to copies of their values.
+
+        Includes non-learnable buffers registered by subclasses through
+        :meth:`extra_state`.
+        """
+        state = {name: param.value.copy() for name, param in self.named_parameters()}
+        for prefix, module in self._walk(""):
+            for key, buf in module.extra_state().items():
+                state[f"{prefix}{key}"] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: "
+                    f"expected {param.value.shape}, got {value.shape}"
+                )
+            param.value[...] = value
+        for prefix, module in self._walk(""):
+            extra = module.extra_state()
+            loaded = {
+                key: state[f"{prefix}{key}"]
+                for key in extra
+                if f"{prefix}{key}" in state
+            }
+            if loaded:
+                module.load_extra_state(loaded)
+
+    def _walk(self, prefix: str) -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix, self)
+        for name, child in self._modules.items():
+            yield from child._walk(f"{prefix}{name}.")
+
+    def extra_state(self) -> Dict[str, np.ndarray]:
+        """Non-learnable buffers to persist (e.g. batch-norm running stats)."""
+        return {}
+
+    def load_extra_state(self, state: Dict[str, np.ndarray]) -> None:
+        pass

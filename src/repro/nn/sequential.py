@@ -1,0 +1,45 @@
+"""Sequential container with exact reverse-order backpropagation."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Sequential"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs the reverse chain."""
+
+    def __init__(self, *layers: Module) -> None:
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(self.layers):
+            self.add_module(str(i), layer)
+
+    def append(self, layer: Module) -> "Sequential":
+        self.add_module(str(len(self.layers)), layer)
+        self.layers.append(layer)
+        return self
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]

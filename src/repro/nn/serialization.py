@@ -1,0 +1,34 @@
+"""Persist module state dicts as ``.npz`` archives (the repo's model format)."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_module"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str | os.PathLike) -> None:
+    """Write a flat name→array mapping to an ``.npz`` file."""
+    np.savez(path, **{name: np.asarray(value) for name, value in state.items()})
+
+
+def load_state(path: str | os.PathLike) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Persist a module's full state dict to ``path`` (.npz)."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load a state dict saved by :func:`save_module` into ``module``."""
+    module.load_state_dict(load_state(path))
+    return module

@@ -1,0 +1,65 @@
+"""Reinforcement-learning components of CDBTune (paper §3–§4).
+
+Includes the DDPG agent that powers the tuner, the DQN/Q-learning methods
+the paper evaluates and rejects (§3.3), the four reward functions of §4.2 /
+Appendix C.1.1, and the uniform + prioritized replay memories of §2.2.4/§5.1.
+"""
+
+from .spaces import Box, RunningNormalizer
+from .noise import DecaySchedule, GaussianNoise, OrnsteinUhlenbeckNoise
+from .replay import (
+    Batch,
+    PrioritizedReplayMemory,
+    ReplayMemory,
+    SumTree,
+    Transition,
+)
+from .reward import (
+    REWARD_FUNCTIONS,
+    CDBTuneReward,
+    InitialOnlyReward,
+    NoZeroingReward,
+    PerformanceSample,
+    PreviousOnlyReward,
+    RewardFunction,
+    delta,
+    make_reward_function,
+)
+from .networks import Critic, build_actor
+from .ddpg import DDPGAgent, DDPGConfig
+from .td3 import TD3Agent, TD3Config
+from .dqn import DQNAgent, DQNConfig
+from .qlearning import QLearningAgent, action_space_size, state_space_size
+
+__all__ = [
+    "Box",
+    "RunningNormalizer",
+    "DecaySchedule",
+    "GaussianNoise",
+    "OrnsteinUhlenbeckNoise",
+    "Batch",
+    "PrioritizedReplayMemory",
+    "ReplayMemory",
+    "SumTree",
+    "Transition",
+    "REWARD_FUNCTIONS",
+    "CDBTuneReward",
+    "InitialOnlyReward",
+    "NoZeroingReward",
+    "PerformanceSample",
+    "PreviousOnlyReward",
+    "RewardFunction",
+    "delta",
+    "make_reward_function",
+    "Critic",
+    "build_actor",
+    "DDPGAgent",
+    "DDPGConfig",
+    "TD3Agent",
+    "TD3Config",
+    "DQNAgent",
+    "DQNConfig",
+    "QLearningAgent",
+    "action_space_size",
+    "state_space_size",
+]

@@ -1,0 +1,125 @@
+"""Deep Q-Network (§3.3, Figure 13).
+
+DQN replaces the Q-table with a neural network mapping state → Q-values for
+*all* discrete actions.  The paper rejects it for knob tuning because the
+action space explodes (100^266 combinations) — we implement it both to
+reproduce that argument quantitatively and to serve as a discrete-action
+baseline on coarsened knob spaces in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .. import nn
+from .replay import ReplayMemory, Transition
+
+__all__ = ["DQNConfig", "DQNAgent"]
+
+
+@dataclass
+class DQNConfig:
+    state_dim: int = 63
+    n_actions: int = 16
+    hidden: Sequence[int] = (128, 64)
+    lr: float = 1e-3
+    gamma: float = 0.99
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.05
+    epsilon_decay_steps: int = 500
+    batch_size: int = 32
+    memory_capacity: int = 50_000
+    target_sync_interval: int = 50
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.state_dim <= 0 or self.n_actions <= 0:
+            raise ValueError("state_dim and n_actions must be positive")
+        if not 0 <= self.gamma <= 1:
+            raise ValueError("gamma must be in [0, 1]")
+        if self.target_sync_interval <= 0:
+            raise ValueError("target_sync_interval must be positive")
+
+
+def _build_q_network(state_dim: int, n_actions: int, hidden: Sequence[int],
+                     rng: np.random.Generator) -> nn.Sequential:
+    layers: list[nn.Module] = []
+    widths = [state_dim, *hidden]
+    for i in range(1, len(widths)):
+        layers.append(nn.Linear(widths[i - 1], widths[i], rng=rng))
+        layers.append(nn.ReLU())
+    layers.append(nn.Linear(widths[-1], n_actions, rng=rng))
+    return nn.Sequential(*layers)
+
+
+class DQNAgent:
+    """Epsilon-greedy DQN with a periodically-synced target network."""
+
+    def __init__(self, config: DQNConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = DQNConfig(**overrides)
+        elif overrides:
+            raise TypeError("pass either a config or keyword overrides, not both")
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        self.q_network = _build_q_network(config.state_dim, config.n_actions,
+                                          config.hidden, self.rng)
+        self.target_network = _build_q_network(config.state_dim, config.n_actions,
+                                               config.hidden, self.rng)
+        self.target_network.load_state_dict(self.q_network.state_dict())
+        self.optimizer = nn.Adam(self.q_network.parameters(), lr=config.lr)
+        self.memory = ReplayMemory(config.memory_capacity, rng=self.rng)
+        self.train_steps = 0
+
+    @property
+    def epsilon(self) -> float:
+        cfg = self.config
+        frac = min(self.train_steps / max(cfg.epsilon_decay_steps, 1), 1.0)
+        return cfg.epsilon_start + (cfg.epsilon_end - cfg.epsilon_start) * frac
+
+    def act(self, state: np.ndarray, explore: bool = True) -> int:
+        if explore and self.rng.random() < self.epsilon:
+            return int(self.rng.integers(self.config.n_actions))
+        state = np.asarray(state, dtype=np.float64).reshape(1, -1)
+        q = self.q_network.forward(state)[0]
+        return int(np.argmax(q))
+
+    def observe(self, state: np.ndarray, action: int, reward: float,
+                next_state: np.ndarray, done: bool = False) -> None:
+        self.memory.push(Transition(
+            state=np.asarray(state, dtype=np.float64),
+            action=np.asarray([action], dtype=np.float64),
+            reward=float(reward),
+            next_state=np.asarray(next_state, dtype=np.float64),
+            done=bool(done),
+        ))
+
+    def update(self) -> Dict[str, float] | None:
+        cfg = self.config
+        if len(self.memory) < cfg.batch_size:
+            return None
+        batch = self.memory.sample(cfg.batch_size)
+        actions = batch.actions.astype(np.int64).reshape(-1)
+
+        next_q = self.target_network.forward(batch.next_states)
+        targets = batch.rewards + cfg.gamma * (1.0 - batch.dones) * next_q.max(axis=1)
+
+        q_all = self.q_network.forward(batch.states)
+        rows = np.arange(len(batch))
+        td_errors = q_all[rows, actions] - targets
+        loss = float(np.mean(td_errors ** 2))
+
+        grad = np.zeros_like(q_all)
+        grad[rows, actions] = 2.0 * td_errors / len(batch)
+        self.optimizer.zero_grad()
+        self.q_network.backward(grad)
+        nn.clip_grad_norm(self.q_network.parameters(), 5.0)
+        self.optimizer.step()
+
+        self.train_steps += 1
+        if self.train_steps % cfg.target_sync_interval == 0:
+            self.target_network.load_state_dict(self.q_network.state_dict())
+        return {"loss": loss, "epsilon": self.epsilon}

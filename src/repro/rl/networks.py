@@ -1,0 +1,106 @@
+"""Actor and critic networks for DDPG (paper Table 5, Appendix B.2).
+
+The published table (after PDF mangling) describes, for the default
+configuration:
+
+* **Actor**: 63 metrics → FC(128) → LeakyReLU(0.2) → BatchNorm →
+  FC(128) → Tanh → Dropout(0.3) → FC(128) → Tanh → FC(64) → knob vector.
+  We append a Sigmoid so actions land in ``[0, 1]^m`` (the knob registry
+  scales them to physical ranges).
+* **Critic**: state and action each pass a *parallel* FC(128), are
+  concatenated (256) → LeakyReLU(0.2) → BatchNorm → FC(256) → FC(64) →
+  Dropout(0.3) → Tanh → FC(1) = the Q-value.
+
+Hidden sizes are parameters so the Appendix C.2 network-architecture sweep
+(Table 6) can instantiate every row.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["build_actor", "Critic"]
+
+
+def build_actor(state_dim: int, action_dim: int,
+                hidden: Sequence[int] = (128, 128, 128, 64),
+                dropout: float = 0.3,
+                rng: np.random.Generator | None = None) -> nn.Sequential:
+    """Actor µ(s|θ^µ): state → knob vector in [0, 1]^action_dim."""
+    if state_dim <= 0 or action_dim <= 0:
+        raise ValueError("state_dim and action_dim must be positive")
+    if not hidden:
+        raise ValueError("actor needs at least one hidden layer")
+    rng = rng if rng is not None else np.random.default_rng()
+    layers: list[nn.Module] = [nn.Linear(state_dim, hidden[0], rng=rng),
+                               nn.LeakyReLU(0.2),
+                               nn.BatchNorm1d(hidden[0])]
+    for i in range(1, len(hidden)):
+        layers.append(nn.Linear(hidden[i - 1], hidden[i], rng=rng))
+        layers.append(nn.Tanh())
+        if i == 1 and dropout > 0:
+            layers.append(nn.Dropout(dropout, rng=rng))
+    layers.append(nn.Linear(hidden[-1], action_dim, rng=rng))
+    layers.append(nn.Sigmoid())
+    return nn.Sequential(*layers)
+
+
+class Critic(nn.Module):
+    """Critic Q(s, a|θ^Q) with parallel state/action input branches.
+
+    ``forward(state, action)`` returns a ``(batch, 1)`` score;
+    ``backward(grad)`` returns ``(grad_state, grad_action)`` — the action
+    gradient drives the deterministic-policy-gradient actor update
+    (Algorithm 1, step 7).
+    """
+
+    def __init__(self, state_dim: int, action_dim: int,
+                 branch_width: int = 128,
+                 hidden: Sequence[int] = (256, 256, 64),
+                 dropout: float = 0.3,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if state_dim <= 0 or action_dim <= 0:
+            raise ValueError("state_dim and action_dim must be positive")
+        if not hidden:
+            raise ValueError("critic needs at least one hidden layer")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.state_branch = nn.Linear(state_dim, branch_width, rng=rng)
+        self.action_branch = nn.Linear(action_dim, branch_width, rng=rng)
+        trunk_layers: list[nn.Module] = [nn.LeakyReLU(0.2),
+                                         nn.BatchNorm1d(2 * branch_width)]
+        widths = [2 * branch_width, *hidden]
+        for i in range(1, len(widths)):
+            trunk_layers.append(nn.Linear(widths[i - 1], widths[i], rng=rng))
+            if i == len(widths) - 1:
+                trunk_layers.append(nn.Dropout(dropout, rng=rng))
+                trunk_layers.append(nn.Tanh())
+            else:
+                trunk_layers.append(nn.LeakyReLU(0.2))
+        trunk_layers.append(nn.Linear(widths[-1], 1, rng=rng))
+        self.trunk = nn.Sequential(*trunk_layers)
+        self._branch_width = branch_width
+
+    def forward(self, state: np.ndarray, action: np.ndarray | None = None) -> np.ndarray:
+        if action is None:
+            raise TypeError("Critic.forward requires both state and action")
+        s = self.state_branch.forward(np.atleast_2d(state))
+        a = self.action_branch.forward(np.atleast_2d(action))
+        return self.trunk.forward(np.concatenate([s, a], axis=1))
+
+    def backward(self, grad_output: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        grad = self.trunk.backward(np.atleast_2d(grad_output))
+        grad_s_branch = grad[:, : self._branch_width]
+        grad_a_branch = grad[:, self._branch_width:]
+        grad_state = self.state_branch.backward(grad_s_branch)
+        grad_action = self.action_branch.backward(grad_a_branch)
+        return grad_state, grad_action
+
+    def __call__(self, state: np.ndarray, action: np.ndarray) -> np.ndarray:
+        return self.forward(state, action)

@@ -1,0 +1,97 @@
+"""Exploration noise processes for the DDPG try-and-error strategy.
+
+The paper leans on RL's exploration–exploitation dilemma (§4.3, §5.1.3) to
+escape configurations "the DBA never tried"; these processes supply that
+exploration on the continuous action vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["OrnsteinUhlenbeckNoise", "GaussianNoise", "DecaySchedule"]
+
+
+class OrnsteinUhlenbeckNoise:
+    """Temporally correlated noise, the standard choice for DDPG.
+
+    dx = theta * (mu - x) dt + sigma * sqrt(dt) * N(0, 1)
+    """
+
+    def __init__(self, dim: int, mu: float = 0.0, theta: float = 0.15,
+                 sigma: float = 0.2, dt: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if sigma < 0 or theta < 0 or dt <= 0:
+            raise ValueError("theta/sigma must be >= 0 and dt > 0")
+        self.dim = int(dim)
+        self.mu = float(mu)
+        self.theta = float(theta)
+        self.sigma = float(sigma)
+        self.dt = float(dt)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self.state = np.full(self.dim, self.mu)
+
+    def reset(self) -> None:
+        self.state = np.full(self.dim, self.mu)
+
+    def sample(self) -> np.ndarray:
+        drift = self.theta * (self.mu - self.state) * self.dt
+        diffusion = self.sigma * np.sqrt(self.dt) * self._rng.standard_normal(self.dim)
+        self.state = self.state + drift + diffusion
+        return self.state.copy()
+
+    __call__ = sample
+
+
+class GaussianNoise:
+    """I.i.d. Gaussian action noise with optional per-sample decay."""
+
+    def __init__(self, dim: int, sigma: float = 0.1, sigma_min: float = 0.0,
+                 decay: float = 1.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if sigma < 0 or sigma_min < 0 or not 0 < decay <= 1.0:
+            raise ValueError("invalid noise parameters")
+        self.dim = int(dim)
+        self.sigma = float(sigma)
+        self.sigma_min = float(sigma_min)
+        self.decay = float(decay)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def reset(self) -> None:
+        pass
+
+    def sample(self) -> np.ndarray:
+        noise = self.sigma * self._rng.standard_normal(self.dim)
+        self.sigma = max(self.sigma_min, self.sigma * self.decay)
+        return noise
+
+    __call__ = sample
+
+
+class DecaySchedule:
+    """Linear or exponential scalar schedule (epsilon for DQN/Q-learning)."""
+
+    def __init__(self, start: float, end: float, steps: int,
+                 mode: str = "linear") -> None:
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        if mode not in ("linear", "exponential"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if mode == "exponential" and (start <= 0 or end <= 0):
+            raise ValueError("exponential schedule needs positive endpoints")
+        self.start = float(start)
+        self.end = float(end)
+        self.steps = int(steps)
+        self.mode = mode
+
+    def value(self, step: int) -> float:
+        t = min(max(step, 0), self.steps) / self.steps
+        if self.mode == "linear":
+            return self.start + (self.end - self.start) * t
+        return float(self.start * (self.end / self.start) ** t)
+
+    __call__ = value

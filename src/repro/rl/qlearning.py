@@ -1,0 +1,86 @@
+"""Tabular Q-learning (§3.3, Eq. 1).
+
+The paper discusses why classic Q-learning cannot tune a real DBMS — 63
+metrics discretized into 100 bins give 100^63 states — but uses it as the
+conceptual baseline.  This implementation works on *small discretized*
+problems and powers the state-space-explosion demonstration in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QLearningAgent", "state_space_size", "action_space_size"]
+
+
+def state_space_size(n_metrics: int, bins_per_metric: int) -> int:
+    """Number of discrete states (the paper's 100^63 argument)."""
+    if n_metrics <= 0 or bins_per_metric <= 0:
+        raise ValueError("dimensions must be positive")
+    return bins_per_metric ** n_metrics
+
+
+def action_space_size(n_knobs: int, intervals_per_knob: int) -> int:
+    """Number of discrete actions (the paper's 100^266 argument for DQN)."""
+    if n_knobs <= 0 or intervals_per_knob <= 0:
+        raise ValueError("dimensions must be positive")
+    return intervals_per_knob ** n_knobs
+
+
+class QLearningAgent:
+    """Epsilon-greedy tabular Q-learning over hashable states.
+
+    Update rule (Eq. 1):
+    ``Q(s,a) ← Q(s,a) + α [r + γ·max_a' Q(s',a') − Q(s,a)]``.
+    """
+
+    def __init__(self, n_actions: int, alpha: float = 0.1, gamma: float = 0.99,
+                 epsilon: float = 0.1,
+                 rng: np.random.Generator | None = None) -> None:
+        if n_actions <= 0:
+            raise ValueError("n_actions must be positive")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0 <= gamma <= 1:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0 <= epsilon <= 1:
+            raise ValueError("epsilon must be in [0, 1]")
+        self.n_actions = int(n_actions)
+        self.alpha = float(alpha)
+        self.gamma = float(gamma)
+        self.epsilon = float(epsilon)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._q: Dict[Hashable, np.ndarray] = {}
+
+    def q_values(self, state: Hashable) -> np.ndarray:
+        if state not in self._q:
+            self._q[state] = np.zeros(self.n_actions)
+        return self._q[state]
+
+    def act(self, state: Hashable, explore: bool = True) -> int:
+        if explore and self._rng.random() < self.epsilon:
+            return int(self._rng.integers(self.n_actions))
+        q = self.q_values(state)
+        best = np.flatnonzero(q == q.max())
+        return int(self._rng.choice(best))
+
+    def update(self, state: Hashable, action: int, reward: float,
+               next_state: Hashable, done: bool = False) -> float:
+        """Apply Eq. 1; returns the TD error."""
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} out of range")
+        q = self.q_values(state)
+        bootstrap = 0.0 if done else float(self.q_values(next_state).max())
+        td_error = reward + self.gamma * bootstrap - q[action]
+        q[action] += self.alpha * td_error
+        return float(td_error)
+
+    @property
+    def table_size(self) -> int:
+        """Number of states materialized so far (memory footprint proxy)."""
+        return len(self._q)
+
+    def greedy_policy(self) -> Dict[Hashable, int]:
+        return {s: int(np.argmax(q)) for s, q in self._q.items()}

@@ -1,0 +1,123 @@
+"""Continuous box spaces and normalizers.
+
+The DDPG actor emits actions in ``[0, 1]^m`` (one scalar per tunable knob);
+the knob registry maps them to physical values.  States are the 63 internal
+metrics, normalized online with running statistics so the network sees
+roughly unit-scale inputs regardless of metric magnitude (page counts vs.
+ratios differ by many orders of magnitude).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["Box", "RunningNormalizer"]
+
+
+class Box:
+    """An axis-aligned box ``[low, high]^n`` with sampling and clipping."""
+
+    def __init__(self, low, high, dim: int | None = None) -> None:
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.ndim == 0 and high.ndim == 0:
+            if dim is None:
+                raise ValueError("dim is required with scalar bounds")
+            low = np.full(dim, float(low))
+            high = np.full(dim, float(high))
+        if low.shape != high.shape:
+            raise ValueError("low and high must have the same shape")
+        if np.any(low > high):
+            raise ValueError("low must be elementwise <= high")
+        self.low = low
+        self.high = high
+
+    @property
+    def dim(self) -> int:
+        return int(self.low.size)
+
+    def contains(self, x: np.ndarray) -> bool:
+        x = np.asarray(x, dtype=np.float64)
+        return bool(
+            x.shape == self.low.shape
+            and np.all(x >= self.low - 1e-12)
+            and np.all(x <= self.high + 1e-12)
+        )
+
+    def clip(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(x, dtype=np.float64), self.low, self.high)
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high)
+
+    def to_unit(self, x: np.ndarray) -> np.ndarray:
+        """Map a point in the box to [0, 1]^n (degenerate axes map to 0)."""
+        span = self.high - self.low
+        safe = np.where(span > 0, span, 1.0)
+        return np.where(span > 0, (self.clip(x) - self.low) / safe, 0.0)
+
+    def from_unit(self, u: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_unit` for u in [0, 1]^n."""
+        u = np.clip(np.asarray(u, dtype=np.float64), 0.0, 1.0)
+        return self.low + u * (self.high - self.low)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Box(dim={self.dim})"
+
+
+class RunningNormalizer:
+    """Online mean/variance normalizer (Welford batched update)."""
+
+    def __init__(self, dim: int, clip: float = 10.0, eps: float = 1e-8) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+        self.clip = float(clip)
+        self.eps = float(eps)
+        self.count = 0.0
+        self.mean = np.zeros(dim)
+        self._m2 = np.zeros(dim)
+
+    @property
+    def var(self) -> np.ndarray:
+        if self.count < 2:
+            return np.ones(self.dim)
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.var + self.eps)
+
+    def update(self, x: np.ndarray) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {x.shape[1]}")
+        batch_count = x.shape[0]
+        batch_mean = x.mean(axis=0)
+        batch_m2 = ((x - batch_mean) ** 2).sum(axis=0)
+        delta = batch_mean - self.mean
+        total = self.count + batch_count
+        self.mean = self.mean + delta * batch_count / total
+        self._m2 = self._m2 + batch_m2 + delta ** 2 * self.count * batch_count / total
+        self.count = total
+
+    def normalize(self, x: np.ndarray, update: bool = False) -> np.ndarray:
+        if update:
+            self.update(x)
+        x = np.asarray(x, dtype=np.float64)
+        z = (x - self.mean) / self.std
+        return np.clip(z, -self.clip, self.clip)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "count": np.asarray(self.count),
+            "mean": self.mean.copy(),
+            "m2": self._m2.copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.count = float(state["count"])
+        self.mean = np.asarray(state["mean"], dtype=np.float64).copy()
+        self._m2 = np.asarray(state["m2"], dtype=np.float64).copy()

@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_plot import bar_chart, heatmap, line_chart
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self):
+        chart = bar_chart({"CDBTune": 2000.0, "DBA": 1500.0}, width=20)
+        assert "CDBTune" in chart and "DBA" in chart
+        assert "2,000" in chart and "1,500" in chart
+
+    def test_peak_bar_is_longest(self):
+        chart = bar_chart({"a": 10.0, "b": 40.0}, width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_title_and_validation(self):
+        assert bar_chart({"a": 1.0}, title="T").startswith("T")
+        with pytest.raises(ValueError):
+            bar_chart({})
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1.0}, width=2)
+
+    def test_zero_values_render(self):
+        chart = bar_chart({"a": 0.0, "b": 5.0})
+        assert "a" in chart
+
+
+class TestLineChart:
+    def test_renders_series_markers_and_legend(self):
+        chart = line_chart([1, 2, 3], {"thr": [10, 20, 30],
+                                       "lat": [30, 20, 10]})
+        assert "*" in chart and "o" in chart
+        assert "thr" in chart and "lat" in chart
+
+    def test_axis_labels_show_range(self):
+        chart = line_chart([0, 50], {"s": [100, 400]})
+        assert "400" in chart and "100" in chart
+
+    def test_constant_series_ok(self):
+        chart = line_chart([1, 2], {"flat": [5, 5]})
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"s": [1, 2, 3]})
+        with pytest.raises(ValueError):
+            line_chart([1], {"s": [1]}, height=1)
+
+
+class TestHeatmap:
+    def test_shape_and_blocks(self):
+        grid = np.array([[0.0, 1.0], [2.0, 4.0]])
+        rendered = heatmap(grid)
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        assert "█" in lines[1]  # the max cell
+        assert lines[0].startswith("  ")  # zero renders as spaces
+
+    def test_labels(self):
+        rendered = heatmap(np.ones((2, 2)), title="surface",
+                           x_label="log size", y_label="pool")
+        assert rendered.startswith("surface")
+        assert "pool" in rendered

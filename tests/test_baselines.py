@@ -1,0 +1,281 @@
+"""Tests for the OtterTune / BestConfig / DBA / random-search baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BestConfig,
+    DBATuner,
+    GaussianProcess,
+    OtterTune,
+    OtterTuneDL,
+    RandomSearch,
+    dba_rule_config,
+    lasso_coordinate_descent,
+    lasso_rank_knobs,
+    performance_score,
+)
+from repro.dbsim import (
+    CDB_A,
+    CDB_E,
+    SimulatedDatabase,
+    get_workload,
+    mongodb_registry,
+    mysql_registry,
+)
+from repro.rl.reward import PerformanceSample
+
+GIB = 1024 ** 3
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return mysql_registry()
+
+
+@pytest.fixture
+def database(registry):
+    return SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                             registry=registry, noise=0.0)
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((20, 2))
+        y = np.sin(3 * x[:, 0]) + x[:, 1]
+        gp = GaussianProcess(noise_variance=1e-6).fit(x, y)
+        np.testing.assert_allclose(gp.predict(x), y, atol=1e-2)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.5, 0.5]])
+        gp = GaussianProcess().fit(x, np.array([1.0]))
+        _, near_std = gp.predict(np.array([[0.5, 0.5]]), return_std=True)
+        _, far_std = gp.predict(np.array([[0.0, 0.0]]), return_std=True)
+        assert far_std[0] > near_std[0]
+
+    def test_mean_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((15, 3))
+        y = x @ np.array([1.0, -2.0, 0.5])
+        gp = GaussianProcess().fit(x, y)
+        point = np.array([0.4, 0.6, 0.5])
+        analytic = gp.mean_gradient(point)
+        eps = 1e-6
+        for j in range(3):
+            plus = point.copy(); plus[j] += eps
+            minus = point.copy(); minus[j] -= eps
+            numeric = (gp.predict(plus.reshape(1, -1))[0]
+                       - gp.predict(minus.reshape(1, -1))[0]) / (2 * eps)
+            assert analytic[j] == pytest.approx(numeric, abs=1e-4)
+
+    def test_suggest_finds_maximum_region(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((60, 1))
+        y = -((x[:, 0] - 0.7) ** 2)
+        gp = GaussianProcess(length_scale=0.2, noise_variance=1e-4).fit(x, y)
+        suggestion = gp.suggest(rng, dim=1, ucb_kappa=0.0)
+        assert suggestion[0] == pytest.approx(0.7, abs=0.1)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+
+class TestLasso:
+    def test_selects_true_features(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((100, 6))
+        y = 3.0 * x[:, 1] - 2.0 * x[:, 4]
+        w = lasso_coordinate_descent(x, y, alpha=0.05)
+        assert abs(w[1]) > 1.0 and abs(w[4]) > 0.5
+        for j in (0, 2, 3, 5):
+            assert abs(w[j]) < 0.1
+
+    def test_strong_penalty_zeroes_everything(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((50, 3))
+        y = x[:, 0]
+        w = lasso_coordinate_descent(x, y, alpha=100.0)
+        np.testing.assert_allclose(w, 0.0)
+
+    def test_ranking_orders_by_importance(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((150, 5))
+        y = 10.0 * x[:, 2] + 1.0 * x[:, 0] + 0.01 * rng.standard_normal(150)
+        ranked = lasso_rank_knobs(x, y, ["a", "b", "c", "d", "e"])
+        assert ranked[0] == "c"
+        assert ranked.index("a") < ranked.index("b")
+
+    def test_ranking_handles_constant_target(self):
+        x = np.random.default_rng(0).random((20, 3))
+        ranked = lasso_rank_knobs(x, np.ones(20), ["a", "b", "c"])
+        assert sorted(ranked) == ["a", "b", "c"]
+
+
+class TestPerformanceScore:
+    def test_positive_for_improvement(self):
+        base = PerformanceSample(100, 1000)
+        better = PerformanceSample(150, 500)
+        assert performance_score(better, base) > 0
+
+    def test_zero_for_no_change(self):
+        base = PerformanceSample(100, 1000)
+        assert performance_score(base, base) == pytest.approx(0.0)
+
+
+class TestDBATuner:
+    def test_rule_config_scales_with_hardware(self):
+        small = dba_rule_config(CDB_A, get_workload("sysbench-rw"))
+        large = dba_rule_config(CDB_E, get_workload("sysbench-rw"))
+        assert (large["innodb_buffer_pool_size"]
+                > small["innodb_buffer_pool_size"])
+
+    def test_rule_config_adapts_to_workload(self):
+        ro = dba_rule_config(CDB_A, get_workload("sysbench-ro"))
+        wo = dba_rule_config(CDB_A, get_workload("sysbench-wo"))
+        assert ro["innodb_read_io_threads"] > wo["innodb_read_io_threads"]
+        assert wo["innodb_write_io_threads"] > ro["innodb_write_io_threads"]
+        assert wo["innodb_purge_threads"] > ro["innodb_purge_threads"]
+
+    def test_beats_default_substantially(self, database):
+        outcome = DBATuner(database.registry).tune(database, budget=6)
+        assert (outcome.best_performance.throughput
+                > 5 * outcome.initial_performance.throughput)
+
+    def test_adapter_translation(self):
+        registry, adapter = mongodb_registry()
+        dba = DBATuner(registry, adapter=adapter)
+        config = dba.recommend(CDB_E, get_workload("ycsb"))
+        assert "wiredTiger.engineConfig.cacheSizeGB_bytes" in config
+        assert all(name in registry for name in config)
+
+    def test_never_recommends_crash_region(self, registry):
+        from repro.dbsim.logsystem import LogConfig, crashes_disk
+        for hardware in (CDB_A, CDB_E):
+            for workload in ("sysbench-wo", "tpcc", "sysbench-ro"):
+                config = dba_rule_config(hardware, get_workload(workload))
+                log = LogConfig(
+                    log_file_bytes=config["innodb_log_file_size"],
+                    log_files_in_group=int(config["innodb_log_files_in_group"]),
+                    log_buffer_bytes=config["innodb_log_buffer_size"],
+                    flush_log_at_trx_commit=int(
+                        config["innodb_flush_log_at_trx_commit"]),
+                    sync_binlog=int(config["sync_binlog"]))
+                assert not crashes_disk(log, hardware.disk_gb)
+
+
+class TestBestConfig:
+    def test_dds_covers_every_interval(self, registry):
+        bc = BestConfig(registry, samples_per_round=8)
+        rng = np.random.default_rng(0)
+        samples = bc._dds(rng, np.zeros(4), np.ones(4), 8)
+        for j in range(4):
+            bins = np.floor(samples[:, j] * 8).astype(int)
+            assert sorted(np.clip(bins, 0, 7)) == list(range(8))
+
+    def test_improves_over_default(self, database, registry):
+        outcome = BestConfig(registry, seed=1).tune(database, budget=40)
+        assert (outcome.best_performance.throughput
+                > outcome.initial_performance.throughput)
+        assert outcome.evaluations == 40
+
+    def test_no_learning_across_requests(self, database, registry):
+        # Each request restarts the search: history length equals budget.
+        bc = BestConfig(registry, seed=1)
+        first = bc.tune(database, budget=10)
+        second = bc.tune(database, budget=10)
+        assert first.evaluations == second.evaluations == 10
+
+
+class TestRandomSearch:
+    def test_respects_budget(self, database, registry):
+        outcome = RandomSearch(registry, seed=0).tune(database, budget=15)
+        assert outcome.evaluations == 15
+
+    def test_never_worse_than_default(self, database, registry):
+        outcome = RandomSearch(registry, seed=0).tune(database, budget=10)
+        assert (outcome.best_performance.throughput
+                >= outcome.initial_performance.throughput)
+
+
+class TestOtterTune:
+    def test_repository_workload_mapping(self, database, registry):
+        tuner = OtterTune(registry, seed=0)
+        tuner.collect_training_data(database, 10, workload_label="rw")
+        ro_db = SimulatedDatabase(CDB_A, get_workload("sysbench-ro"),
+                                  registry=registry, noise=0.0)
+        tuner.collect_training_data(ro_db, 10, workload_label="ro")
+        obs = database.evaluate(database.default_config())
+        assert tuner.repository.map_workload(obs.metrics) == "rw"
+
+    def test_tune_improves_with_repository(self, database, registry):
+        tuner = OtterTune(registry, seed=0)
+        tuner.collect_training_data(database, 40)
+        outcome = tuner.tune(database, budget=8)
+        # Selection is by the Eq.7-style combined score, so throughput alone
+        # may dip if latency improves more; the combined score never drops.
+        assert performance_score(outcome.best_performance,
+                                 outcome.initial_performance) >= 0.0
+
+    def test_dba_experience_seeding(self, database, registry):
+        tuner = OtterTune(registry, seed=0)
+        dba_config = DBATuner(registry).recommend(CDB_A,
+                                                  get_workload("sysbench-rw"))
+        tuner.seed_dba_experience(database, dba_config, 5)
+        assert tuner.repository.size("sysbench-rw") >= 4
+
+    def test_rank_knobs_returns_all(self, database, registry):
+        tuner = OtterTune(registry, seed=0)
+        tuner.collect_training_data(database, 25)
+        ranked = tuner.rank_knobs("sysbench-rw")
+        assert sorted(ranked) == sorted(registry.tunable_names)
+
+    def test_empty_repository_tunes_blind(self, database, registry):
+        outcome = OtterTune(registry, seed=0).tune(database, budget=4)
+        assert outcome.evaluations == 4
+
+
+class TestOtterTuneDL:
+    def test_tunes_with_neural_regressor(self, database, registry):
+        tuner = OtterTuneDL(registry, seed=0, top_knobs=5)
+        tuner.collect_training_data(database, 25)
+        outcome = tuner.tune(database, budget=4)
+        assert outcome.name == "OtterTune-DL"
+        assert (outcome.best_performance.throughput
+                >= outcome.initial_performance.throughput)
+
+
+class TestITuned:
+    def test_respects_budget_and_improves(self, database, registry):
+        from repro.baselines import ITuned
+        outcome = ITuned(registry, init_samples=6, seed=0).tune(database,
+                                                                budget=14)
+        assert outcome.evaluations == 14
+        assert (outcome.best_performance.throughput
+                >= outcome.initial_performance.throughput)
+
+    def test_budget_smaller_than_init(self, database, registry):
+        from repro.baselines import ITuned
+        outcome = ITuned(registry, init_samples=10, seed=0).tune(database,
+                                                                 budget=4)
+        assert outcome.evaluations == 4
+
+    def test_erf_accuracy(self):
+        import numpy as np
+        from math import erf
+        from repro.baselines.ituned import _erf
+        xs = np.linspace(-3, 3, 25)
+        expected = np.array([erf(x) for x in xs])
+        np.testing.assert_allclose(_erf(xs), expected, atol=2e-7)
+
+    def test_expected_improvement_properties(self):
+        import numpy as np
+        from repro.baselines.ituned import _expected_improvement
+        mean = np.array([0.0, 1.0])
+        std = np.array([1.0, 1.0])
+        ei = _expected_improvement(mean, std, best=0.5)
+        assert ei[1] > ei[0] > 0.0  # higher mean → higher EI; both positive
+        zero_std = _expected_improvement(np.array([0.0]), np.array([0.0]),
+                                         best=1.0)
+        assert zero_std[0] == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro.experiments`` command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_static_experiment_runs(self, capsys):
+        assert main(["fig1c"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1c" in out
+
+    def test_table2_renders(self, capsys):
+        assert main(["table2", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "CDBTune" in out
+
+    def test_fig9_smoke(self, capsys):
+        assert main(["fig9", "--scale", "smoke", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MySQL-default" in out

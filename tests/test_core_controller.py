@@ -1,0 +1,49 @@
+"""Tests for the Figure 2 controller."""
+
+import pytest
+
+from repro.core import CDBTune, Controller
+from repro.dbsim import CDB_A
+
+
+@pytest.fixture(scope="module")
+def controller():
+    tuner = CDBTune(seed=19, noise=0.0)
+    ctrl = Controller(tuner)
+    ctrl.training_request(CDB_A, "sysbench-rw", max_steps=120,
+                          probe_every=30, stop_on_convergence=False)
+    return ctrl
+
+
+class TestController:
+    def test_tuning_before_training_rejected(self):
+        ctrl = Controller(CDBTune(seed=1, noise=0.0))
+        with pytest.raises(RuntimeError, match="offline-trained"):
+            ctrl.tuning_request(CDB_A, "sysbench-rw")
+
+    def test_training_request_logs(self, controller):
+        assert controller.request_counts()["training"] == 1
+        assert controller.log[0].kind == "training"
+        assert controller.log[0].workload == "sysbench-rw"
+
+    def test_tuning_request_returns_deployable(self, controller):
+        outcome = controller.tuning_request(CDB_A, "sysbench-rw", steps=3)
+        assert outcome.deployed
+        assert outcome.result.best.throughput > 0
+        assert outcome.recommendation.commands
+        assert controller.request_counts()["tuning"] >= 1
+
+    def test_license_denial_blocks_deployment(self):
+        tuner = CDBTune(seed=20, noise=0.0)
+        ctrl = Controller(tuner, license_callback=lambda _rec: False)
+        ctrl.training_request(CDB_A, "sysbench-rw", max_steps=60,
+                              probe_every=20, stop_on_convergence=False)
+        outcome = ctrl.tuning_request(CDB_A, "sysbench-rw", steps=2)
+        assert not outcome.deployed
+        assert ctrl.log[-1].deployed is False
+
+    def test_tuning_from_current_config(self, controller):
+        outcome = controller.tuning_request(
+            CDB_A, "sysbench-rw", steps=2,
+            current_config={"innodb_buffer_pool_size": 2 * 1024 ** 3})
+        assert outcome.result.best.throughput > 0

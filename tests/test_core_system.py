@@ -1,0 +1,207 @@
+"""Tests for the tuning-system components (environment, collector,
+generator, memory pool, recommender)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MemoryPool,
+    MetricsCollector,
+    Recommender,
+    TuningEnvironment,
+    WorkloadGenerator,
+)
+from repro.dbsim import (
+    CDB_A,
+    SimulatedDatabase,
+    get_workload,
+    mysql_registry,
+)
+from repro.rl.reward import CDBTuneReward
+
+GIB = 1024 ** 3
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return mysql_registry()
+
+
+@pytest.fixture
+def database(registry):
+    return SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                             registry=registry, noise=0.0)
+
+
+class TestTuningEnvironment:
+    def test_reset_returns_63_metrics(self, database):
+        env = TuningEnvironment(database)
+        state = env.reset()
+        assert state.shape == (63,)
+        assert env.initial_performance is not None
+
+    def test_step_before_reset_raises(self, database):
+        env = TuningEnvironment(database)
+        with pytest.raises(RuntimeError):
+            env.step(np.full(env.action_dim, 0.5))
+
+    def test_step_decodes_action(self, database):
+        env = TuningEnvironment(database)
+        env.reset()
+        result = env.step(np.full(env.action_dim, 0.5))
+        assert not result.crashed
+        assert set(result.config) == set(database.registry.names)
+
+    def test_wrong_action_dim_rejected(self, database):
+        env = TuningEnvironment(database)
+        env.reset()
+        with pytest.raises(ValueError):
+            env.step(np.zeros(3))
+
+    def test_crash_gives_penalty_and_restart_state(self, database, registry):
+        env = TuningEnvironment(database)
+        env.reset()
+        # Build an action whose log knobs land in the crash region.
+        action = registry.to_vector(database.default_config())
+        names = registry.tunable_names
+        action[names.index("innodb_log_file_size")] = 1.0
+        action[names.index("innodb_log_files_in_group")] = 1.0
+        result = env.step(action)
+        assert result.crashed
+        assert result.reward == env.reward_function.crash_penalty
+        assert result.state.shape == (63,)
+        assert env.crashes == 1
+
+    def test_best_config_tracks_improvements(self, database, registry):
+        env = TuningEnvironment(database)
+        env.reset()
+        initial_best = env.best_performance
+        good = dict(database.default_config())
+        good["innodb_buffer_pool_size"] = 5.5 * GIB
+        good["innodb_io_capacity"] = 8000
+        good["innodb_io_capacity_max"] = 16000
+        env.step(registry.to_vector(good))
+        assert env.best_performance.throughput > initial_best.throughput
+        assert env.best_config["innodb_io_capacity"] == 8000
+
+    def test_subset_action_registry(self, database, registry):
+        subset = registry.subset(["innodb_buffer_pool_size",
+                                  "innodb_io_capacity"])
+        env = TuningEnvironment(database, action_registry=subset)
+        assert env.action_dim == 2
+        env.reset()
+        result = env.step(np.array([0.6, 0.9]))
+        # Untuned knobs stay at their defaults.
+        assert result.config["max_connections"] == 151.0
+
+
+class TestMetricsCollector:
+    def test_mean_aggregation(self, database):
+        collector = MetricsCollector(samples_per_collection=3)
+        sample = collector.collect(database, database.default_config())
+        assert sample.state.shape == (63,)
+        assert sample.samples == 3
+        assert sample.performance.throughput > 0
+
+    def test_peak_vs_trough_ordering(self, registry):
+        noisy = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                  registry=registry, noise=0.05)
+        config = noisy.default_config()
+        peak = MetricsCollector(5, aggregation="peak").collect(noisy, config)
+        trough = MetricsCollector(5, aggregation="trough").collect(noisy,
+                                                                   config)
+        assert peak.performance.throughput >= trough.performance.throughput
+        assert peak.performance.latency <= trough.performance.latency
+
+    def test_invalid_aggregation(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(aggregation="median")
+
+    def test_invalid_samples(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(samples_per_collection=0)
+
+
+class TestWorkloadGenerator:
+    def test_standard_builds_database(self):
+        generator = WorkloadGenerator(noise=0.0)
+        db = generator.standard(CDB_A, "sysbench-ro")
+        assert db.workload.name == "sysbench-ro"
+
+    def test_capture_and_replay_preserve_workload(self, database):
+        generator = WorkloadGenerator(noise=0.0)
+        capture = generator.capture(database)
+        assert capture.duration_s == 150.0
+        replayed = generator.replay(capture, CDB_A)
+        assert replayed.workload.name == database.workload.name
+
+    def test_training_suite_default_workloads(self):
+        suite = WorkloadGenerator().training_suite(CDB_A)
+        assert set(suite) == {"sysbench-ro", "sysbench-wo", "sysbench-rw"}
+
+    def test_invalid_capture_duration(self, database):
+        from repro.core.generator import WorkloadCapture
+        with pytest.raises(ValueError):
+            WorkloadCapture(workload=database.workload, duration_s=0)
+
+
+class TestMemoryPool:
+    def test_add_and_sample(self):
+        pool = MemoryPool(capacity=100, rng=np.random.default_rng(0))
+        for i in range(40):
+            pool.add(np.random.rand(63), np.random.rand(5), float(i),
+                     np.random.rand(63), workload="sysbench-rw")
+        batch = pool.sample(16)
+        assert len(batch) == 16
+        assert len(pool) == 40
+
+    def test_provenance_counts(self):
+        pool = MemoryPool(capacity=10)
+        pool.add(np.zeros(3), np.zeros(2), 0.0, np.zeros(3),
+                 workload="tpcc", source="cold-start")
+        pool.add(np.zeros(3), np.zeros(2), 0.0, np.zeros(3),
+                 workload="tpcc", source="user-request")
+        assert pool.counts_by_source() == {"cold-start": 1, "user-request": 1}
+        assert pool.counts_by_workload() == {"tpcc": 2}
+
+    def test_rejects_unknown_source(self):
+        pool = MemoryPool(capacity=10)
+        with pytest.raises(ValueError):
+            pool.add(np.zeros(3), np.zeros(2), 0.0, np.zeros(3),
+                     source="magic")
+
+
+class TestRecommender:
+    def test_commands_rendered_per_type(self, registry):
+        recommender = Recommender(registry)
+        config = registry.defaults()
+        rec = recommender.from_config(config)
+        commands = "\n".join(rec.commands)
+        assert "SET GLOBAL innodb_buffer_pool_size = 134217728;" in commands
+        assert "SET GLOBAL innodb_flush_method = 'fdatasync';" in commands
+        assert "SET GLOBAL innodb_adaptive_hash_index = ON;" in commands
+
+    def test_blacklist_resets_to_default(self, registry):
+        recommender = Recommender(registry,
+                                  blacklist=["innodb_buffer_pool_size"])
+        config = dict(registry.defaults(),
+                      innodb_buffer_pool_size=64 * GIB)
+        rec = recommender.from_config(config)
+        assert rec.config["innodb_buffer_pool_size"] == 128 * 1024 ** 2
+
+    def test_non_tunable_forced_to_default(self, registry):
+        recommender = Recommender(registry)
+        config = dict(registry.defaults(), innodb_page_size=0)
+        rec = recommender.from_config(config)
+        assert rec.config["innodb_page_size"] == registry[
+            "innodb_page_size"].default
+
+    def test_from_action_roundtrip(self, registry):
+        recommender = Recommender(registry)
+        action = np.full(registry.n_tunable, 0.5)
+        rec = recommender.from_action(action)
+        assert len(rec.config) == len(registry)
+
+    def test_unknown_blacklist_entry_rejected(self, registry):
+        with pytest.raises(KeyError):
+            Recommender(registry, blacklist=["bogus"])

@@ -1,0 +1,214 @@
+"""Tests for the engine component models: buffer pool, log, I/O, concurrency."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim import (
+    ConcurrencyConfig,
+    DISK_MEDIA,
+    LogConfig,
+    MemoryBudget,
+    IOConfig,
+    crashes_disk,
+    evaluate_concurrency,
+    evaluate_io,
+    evaluate_log,
+    hit_ratio,
+    memory_pressure,
+    thread_pool_efficiency,
+)
+
+SSD = DISK_MEDIA["cloud-ssd"]
+HDD = DISK_MEDIA["hdd"]
+
+
+class TestBufferPool:
+    def test_hit_ratio_increases_with_pool(self):
+        small = hit_ratio(0.5, 8.0, 0.5)
+        large = hit_ratio(6.0, 8.0, 0.5)
+        assert large > small
+
+    def test_full_coverage_caps_near_one(self):
+        assert hit_ratio(16.0, 8.0, 0.5) == pytest.approx(0.998)
+
+    def test_skew_raises_hit_at_partial_coverage(self):
+        uniform = hit_ratio(2.0, 8.0, 0.0)
+        skewed = hit_ratio(2.0, 8.0, 0.8)
+        assert skewed > uniform
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hit_ratio(0.0, 8.0, 0.5)
+        with pytest.raises(ValueError):
+            hit_ratio(1.0, 8.0, 1.0)
+        with pytest.raises(ValueError):
+            hit_ratio(1.0, 8.0, 0.5, instances=0)
+
+    def test_memory_pressure_none_below_budget(self):
+        budget = MemoryBudget(buffer_pool_gb=4.0, session_gb=0.5,
+                              shared_gb=0.2)
+        assert memory_pressure(budget, ram_gb=8.0) == 1.0
+
+    def test_memory_pressure_cliff(self):
+        mild = memory_pressure(
+            MemoryBudget(7.0, 0.5, 0.2), ram_gb=8.0)
+        severe = memory_pressure(
+            MemoryBudget(14.0, 0.5, 0.2), ram_gb=8.0)
+        assert severe > mild > 1.0
+
+    def test_memory_pressure_bounded(self):
+        huge = memory_pressure(MemoryBudget(256.0, 10.0, 10.0), ram_gb=8.0)
+        assert np.isfinite(huge)
+
+
+class TestLogSystem:
+    def _config(self, **overrides):
+        base = dict(log_file_bytes=512 * 1024 ** 2, log_files_in_group=2,
+                    log_buffer_bytes=16 * 1024 ** 2,
+                    flush_log_at_trx_commit=1, sync_binlog=0)
+        base.update(overrides)
+        return LogConfig(**base)
+
+    def test_crash_rule(self):
+        crashing = self._config(log_file_bytes=30 * 1024 ** 3,
+                                log_files_in_group=2)
+        assert crashes_disk(crashing, disk_gb=100)
+        assert not crashes_disk(self._config(), disk_gb=100)
+
+    def test_flush_policy_ordering(self):
+        # flush=1 (fsync every commit) must cost the most per txn.
+        costs = {}
+        for policy in (0, 1, 2):
+            out = evaluate_log(self._config(flush_log_at_trx_commit=policy),
+                               SSD, txn_per_sec=1000, log_bytes_per_txn=2000,
+                               concurrent_commits=8)
+            costs[policy] = out.commit_ms
+        assert costs[1] > costs[2] > costs[0]
+
+    def test_group_commit_amortizes_fsync(self):
+        lonely = evaluate_log(self._config(), SSD, 1000, 2000,
+                              concurrent_commits=1)
+        grouped = evaluate_log(self._config(), SSD, 1000, 2000,
+                               concurrent_commits=16)
+        assert grouped.commit_ms < lonely.commit_ms
+
+    def test_sync_binlog_adds_cost(self):
+        without = evaluate_log(self._config(sync_binlog=0), SSD, 1000, 2000, 8)
+        with_sync = evaluate_log(self._config(sync_binlog=1), SSD, 1000,
+                                 2000, 8)
+        assert with_sync.commit_ms > without.commit_ms
+
+    def test_small_log_forces_checkpoints(self):
+        small = evaluate_log(self._config(log_file_bytes=8 * 1024 ** 2),
+                             SSD, 2000, 4000, 8)
+        large = evaluate_log(self._config(log_file_bytes=4 * 1024 ** 3),
+                             SSD, 2000, 4000, 8)
+        assert small.checkpoint_factor > large.checkpoint_factor
+        assert large.checkpoint_factor >= 1.0
+
+    def test_small_log_buffer_causes_waits(self):
+        starved = evaluate_log(self._config(log_buffer_bytes=64 * 1024),
+                               SSD, 5000, 4000, 8)
+        comfy = evaluate_log(self._config(log_buffer_bytes=256 * 1024 ** 2),
+                             SSD, 5000, 4000, 8)
+        assert starved.log_waits_per_sec > 0
+        assert comfy.log_waits_per_sec == 0.0
+
+    def test_read_only_workload_has_no_commit_cost(self):
+        out = evaluate_log(self._config(), SSD, 1000, 0.0, 8)
+        assert out.commit_ms == 0.0
+        assert out.redo_bytes_per_sec == 0.0
+
+
+class TestIOModel:
+    def _config(self, **overrides):
+        base = dict(read_io_threads=8, write_io_threads=8, purge_threads=4,
+                    io_capacity=2000, io_capacity_max=8000,
+                    flush_method="O_DIRECT", flush_neighbors=0,
+                    max_dirty_pct=75.0, lru_scan_depth=1024,
+                    adaptive_flushing=True)
+        base.update(overrides)
+        return IOConfig(**base)
+
+    def test_thread_pool_oversubscription_penalized(self):
+        right = thread_pool_efficiency(8, demand=8.0, cores=12)
+        too_many = thread_pool_efficiency(64, demand=8.0, cores=12)
+        assert right > too_many
+
+    def test_thread_pool_undersupply_penalized(self):
+        starved = thread_pool_efficiency(1, demand=10.0, cores=12)
+        assert starved < 0.5
+
+    def test_flush_capacity_needs_both_io_knobs(self):
+        # Sustained flushing is min(2·io_capacity, io_capacity_max).
+        low_cap = evaluate_io(self._config(io_capacity=200), SSD, 12, 100,
+                              5000)
+        low_max = evaluate_io(self._config(io_capacity_max=400), SSD, 12,
+                              100, 5000)
+        both = evaluate_io(self._config(), SSD, 12, 100, 5000)
+        assert both.flush_capacity_pages > low_cap.flush_capacity_pages
+        assert both.flush_capacity_pages > low_max.flush_capacity_pages
+
+    def test_write_stall_when_overloaded(self):
+        overloaded = evaluate_io(self._config(io_capacity=200,
+                                              io_capacity_max=400),
+                                 SSD, 12, 100, 20000)
+        assert overloaded.write_stall_factor > 1.0
+
+    def test_neighbor_flushing_helps_hdd_only(self):
+        hdd_with = evaluate_io(self._config(flush_neighbors=1), HDD, 12,
+                               10, 100)
+        hdd_without = evaluate_io(self._config(flush_neighbors=0), HDD, 12,
+                                  10, 100)
+        assert hdd_with.flush_capacity_pages > hdd_without.flush_capacity_pages
+
+    def test_read_miss_latency_grows_with_queueing(self):
+        calm = evaluate_io(self._config(), SSD, 12, 100, 100)
+        stormy = evaluate_io(self._config(), SSD, 12, SSD.iops * 1.5, 100)
+        assert stormy.read_miss_ms > calm.read_miss_ms
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_io(self._config(), SSD, 12, -1, 0)
+
+
+class TestConcurrency:
+    def _config(self, **overrides):
+        base = dict(max_connections=1000, thread_concurrency=72,
+                    thread_cache_size=128, spin_wait_delay=6,
+                    sync_spin_loops=30, back_log=80)
+        base.update(overrides)
+        return ConcurrencyConfig(**base)
+
+    def test_admission_capped_by_max_connections(self):
+        out = evaluate_concurrency(self._config(max_connections=100),
+                                   offered_threads=1500, cores=12,
+                                   write_frac=0.3, skew=0.5)
+        assert out.admitted_threads == 100
+        assert out.admission_ratio == pytest.approx(100 / 1500)
+
+    def test_unlimited_concurrency_contends(self):
+        unlimited = evaluate_concurrency(self._config(thread_concurrency=0),
+                                         1500, 12, 0.3, 0.5)
+        capped = evaluate_concurrency(self._config(thread_concurrency=72),
+                                      1500, 12, 0.3, 0.5)
+        assert unlimited.contention_factor > capped.contention_factor
+
+    def test_lock_waits_grow_with_writes_and_skew(self):
+        calm = evaluate_concurrency(self._config(), 500, 12, 0.0, 0.0)
+        hot = evaluate_concurrency(self._config(), 500, 12, 0.9, 0.9)
+        assert hot.lock_wait_frac > calm.lock_wait_frac
+        assert calm.lock_wait_frac == 0.0
+
+    def test_thread_churn_from_cold_cache(self):
+        cold = evaluate_concurrency(self._config(thread_cache_size=0),
+                                    500, 12, 0.3, 0.5)
+        warm = evaluate_concurrency(self._config(thread_cache_size=1000),
+                                    500, 12, 0.3, 0.5)
+        assert cold.thread_create_rate > warm.thread_create_rate == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            evaluate_concurrency(self._config(), 0, 12, 0.3, 0.5)
+        with pytest.raises(ValueError):
+            evaluate_concurrency(self._config(), 100, 12, 1.5, 0.5)

@@ -1,0 +1,113 @@
+"""Cross-cutting simulator invariants: the properties every tuner relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbsim import (
+    CDB_A,
+    CDB_E,
+    DatabaseCrashError,
+    SimulatedDatabase,
+    get_workload,
+    mysql_registry,
+)
+
+GIB = 1024 ** 3
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return mysql_registry()
+
+
+@pytest.fixture(scope="module")
+def database(registry):
+    return SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                             registry=registry, noise=0.0)
+
+
+class TestActionDecodingInvariants:
+    @given(seed=st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_any_action_vector_evaluates_or_crashes_cleanly(self, seed):
+        registry = mysql_registry()
+        db = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                               registry=registry, noise=0.0)
+        rng = np.random.default_rng(seed)
+        action = rng.random(registry.n_tunable)
+        config = registry.from_vector(action)
+        try:
+            observation = db.evaluate(config)
+        except DatabaseCrashError:
+            return
+        assert observation.throughput >= 1.0
+        assert observation.latency >= 0.1
+        assert np.all(np.isfinite(observation.metrics))
+
+    def test_vector_decode_encode_stable(self, registry):
+        rng = np.random.default_rng(5)
+        action = rng.random(registry.n_tunable)
+        config = registry.from_vector(action)
+        re_encoded = registry.to_vector(config)
+        re_decoded = registry.from_vector(re_encoded)
+        # Quantization makes encode/decode a projection: applying it twice
+        # is a no-op (idempotence).
+        assert re_decoded == registry.from_vector(registry.to_vector(
+            re_decoded))
+
+
+class TestPerformanceOrderInvariants:
+    def test_same_config_same_result_across_instances(self, registry):
+        """Two SimulatedDatabase objects with identical parameters agree."""
+        a = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                              registry=registry, noise=0.01, seed=3)
+        b = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                              registry=registry, noise=0.01, seed=3)
+        config = registry.random_config(np.random.default_rng(0))
+        assert (a.evaluate(config, trial=1).throughput
+                == b.evaluate(config, trial=1).throughput)
+
+    def test_latency_tracks_inverse_throughput(self, database):
+        """Closed-loop clients: faster database, lower per-client latency."""
+        base = database.default_config()
+        tuned = dict(base, innodb_buffer_pool_size=5.5 * GIB,
+                     innodb_io_capacity=5000, innodb_io_capacity_max=15000,
+                     innodb_thread_concurrency=72)
+        slow = database.evaluate(base)
+        fast = database.evaluate(tuned)
+        assert fast.throughput > slow.throughput
+        assert fast.latency < slow.latency
+
+    def test_bigger_box_never_slower_at_same_config(self, registry):
+        """More RAM with an adequate pool cannot hurt (no swap either way)."""
+        config = {"innodb_buffer_pool_size": 2 * GIB}
+        small = SimulatedDatabase(CDB_A, get_workload("sysbench-ro"),
+                                  registry=registry, noise=0.0)
+        big = SimulatedDatabase(CDB_E, get_workload("sysbench-ro"),
+                                registry=registry, noise=0.0)
+        assert (big.evaluate(config).throughput
+                >= small.evaluate(config).throughput * 0.99)
+
+
+class TestMetricsConsistency:
+    def test_metrics_respond_to_throughput(self, database):
+        from repro.dbsim.metrics import METRIC_NAMES
+        com_select = METRIC_NAMES.index("com_select")
+        base = database.evaluate(database.default_config())
+        tuned_config = dict(database.default_config(),
+                            innodb_buffer_pool_size=5.5 * GIB,
+                            innodb_io_capacity=5000,
+                            innodb_io_capacity_max=15000,
+                            innodb_thread_concurrency=72)
+        tuned = database.evaluate(tuned_config)
+        ratio_throughput = tuned.throughput / base.throughput
+        ratio_selects = tuned.metrics[com_select] / base.metrics[com_select]
+        assert ratio_selects == pytest.approx(ratio_throughput, rel=0.1)
+
+    def test_state_vs_cumulative_split_in_vector(self, database):
+        from repro.dbsim.metrics import STATE_METRICS
+        observation = database.evaluate(database.default_config())
+        # The first 14 entries are the state metrics by construction.
+        assert len(STATE_METRICS) == 14
+        assert observation.metrics.shape[0] == 63

@@ -1,0 +1,167 @@
+"""Tests for knob specs, registries and the three catalogs."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim import (
+    KnobRegistry,
+    KnobSpec,
+    KnobType,
+    MONGODB_KNOB_COUNT,
+    MYSQL_KNOB_COUNT,
+    POSTGRES_KNOB_COUNT,
+    mongodb_registry,
+    mysql_registry,
+    postgres_registry,
+)
+from repro.dbsim.mysql_knobs import MAJOR_KNOBS
+
+
+class TestKnobSpec:
+    def test_linear_unit_roundtrip(self):
+        spec = KnobSpec("k", KnobType.FLOAT, 10.0, 30.0, 20.0)
+        assert spec.from_unit(spec.to_unit(25.0)) == pytest.approx(25.0)
+
+    def test_log_unit_mapping(self):
+        spec = KnobSpec("k", KnobType.FLOAT, 1.0, 10000.0, 100.0, scale="log")
+        assert spec.to_unit(100.0) == pytest.approx(0.5)
+        assert spec.from_unit(0.5) == pytest.approx(100.0, rel=1e-9)
+
+    def test_integer_quantization(self):
+        spec = KnobSpec("k", KnobType.INTEGER, 0, 10, 5)
+        assert spec.from_unit(0.444) == 4.0
+        assert spec.quantize(4.6) == 5.0
+
+    def test_enum_choices(self):
+        spec = KnobSpec("k", KnobType.ENUM, choices=("a", "b", "c"), default=1)
+        assert spec.max_value == 2.0
+        assert spec.choice_name(2.0) == "c"
+        with pytest.raises(TypeError):
+            KnobSpec("x", KnobType.INTEGER, 0, 1, 0).choice_name(0)
+
+    def test_boolean_bounds(self):
+        spec = KnobSpec("k", KnobType.BOOLEAN, default=1.0)
+        assert spec.min_value == 0.0 and spec.max_value == 1.0
+
+    def test_default_outside_range_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSpec("k", KnobType.INTEGER, 0, 10, 20)
+
+    def test_log_scale_requires_positive_min(self):
+        with pytest.raises(ValueError):
+            KnobSpec("k", KnobType.FLOAT, 0.0, 10.0, 1.0, scale="log")
+
+    def test_enum_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            KnobSpec("k", KnobType.ENUM, choices=("only",), default=0)
+
+    def test_unit_clipping(self):
+        spec = KnobSpec("k", KnobType.FLOAT, 0.0, 1.0, 0.5)
+        assert spec.to_unit(5.0) == 1.0
+        assert spec.from_unit(2.0) == 1.0
+
+
+class TestKnobRegistry:
+    @pytest.fixture
+    def registry(self):
+        return KnobRegistry([
+            KnobSpec("a", KnobType.FLOAT, 0.0, 10.0, 5.0),
+            KnobSpec("b", KnobType.INTEGER, 1, 100, 10, scale="log"),
+            KnobSpec("c", KnobType.BOOLEAN, default=0.0),
+            KnobSpec("fixed", KnobType.INTEGER, 0, 1, 0, tunable=False),
+        ])
+
+    def test_duplicate_names_rejected(self):
+        spec = KnobSpec("a", KnobType.FLOAT, 0.0, 1.0, 0.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            KnobRegistry([spec, spec])
+
+    def test_tunable_excludes_blacklist(self, registry):
+        assert registry.n_tunable == 3
+        assert "fixed" not in registry.tunable_names
+
+    def test_vector_roundtrip(self, registry):
+        config = {"a": 2.5, "b": 10.0, "c": 1.0}
+        vector = registry.to_vector(config)
+        decoded = registry.from_vector(vector)
+        assert decoded["a"] == pytest.approx(2.5)
+        assert decoded["b"] == pytest.approx(10.0)
+        assert decoded["c"] == 1.0
+        assert decoded["fixed"] == 0.0  # non-tunable keeps default
+
+    def test_from_vector_wrong_dim(self, registry):
+        with pytest.raises(ValueError):
+            registry.from_vector(np.zeros(2))
+
+    def test_unknown_knob_rejected(self, registry):
+        with pytest.raises(KeyError):
+            registry.to_vector({"nope": 1.0})
+        with pytest.raises(KeyError):
+            registry.validate({"nope": 1.0})
+
+    def test_subset_preserves_order(self, registry):
+        subset = registry.subset(["c", "a"])
+        assert subset.names == ["c", "a"]
+        with pytest.raises(KeyError):
+            registry.subset(["missing"])
+
+    def test_reorder_puts_names_first(self, registry):
+        reordered = registry.reorder(["b"])
+        assert reordered.names[0] == "b"
+        assert len(reordered) == len(registry)
+
+    def test_validate_quantizes(self, registry):
+        cleaned = registry.validate({"b": 10.7})
+        assert cleaned["b"] == 11.0
+
+    def test_random_config_within_bounds(self, registry):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            config = registry.random_config(rng)
+            for spec in registry:
+                assert spec.min_value <= config[spec.name] <= spec.max_value
+            assert config["fixed"] == 0.0  # blacklist untouched
+
+    def test_defaults(self, registry):
+        assert registry.defaults() == {"a": 5.0, "b": 10.0, "c": 0.0,
+                                       "fixed": 0.0}
+
+
+class TestCatalogs:
+    def test_mysql_has_266_tunable_knobs(self):
+        registry = mysql_registry()
+        assert registry.n_tunable == MYSQL_KNOB_COUNT == 266
+
+    def test_mysql_majors_present_and_tunable(self):
+        registry = mysql_registry()
+        for name in MAJOR_KNOBS:
+            assert name in registry
+            assert registry[name].tunable
+
+    def test_mysql_blacklist_exists(self):
+        registry = mysql_registry()
+        blacklisted = [s for s in registry if not s.tunable]
+        assert blacklisted  # the §5.2 blacklist
+
+    def test_mysql_defaults_match_vendor(self):
+        registry = mysql_registry()
+        assert registry["innodb_buffer_pool_size"].default == 128 * 1024 ** 2
+        assert registry["innodb_flush_log_at_trx_commit"].default == 1.0
+        assert registry["max_connections"].default == 151
+
+    def test_mongodb_catalog(self):
+        registry, adapter = mongodb_registry()
+        assert registry.n_tunable == MONGODB_KNOB_COUNT == 232
+        # Every adapter source is a knob; every target a canonical knob.
+        mysql = mysql_registry()
+        for native, canonical in adapter.items():
+            assert native in registry
+            assert canonical in mysql
+
+    def test_postgres_catalog(self):
+        registry, adapter = postgres_registry()
+        assert registry.n_tunable == POSTGRES_KNOB_COUNT == 169
+        assert "shared_buffers_bytes" in adapter
+
+    def test_catalogs_are_reproducible(self):
+        assert mysql_registry().names == mysql_registry().names

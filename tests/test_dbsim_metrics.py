@@ -1,0 +1,120 @@
+"""Tests for the 63-metric catalog and its derivations."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim.metrics import (
+    CUMULATIVE_METRICS,
+    METRIC_NAMES,
+    N_METRICS,
+    PAGE_SIZE,
+    STATE_METRICS,
+    EngineSnapshot,
+    metrics_dict,
+    metrics_vector,
+)
+
+
+def snapshot(**overrides) -> EngineSnapshot:
+    base = dict(
+        interval_s=150.0, buffer_pool_bytes=4 * 1024 ** 3,
+        buffer_pool_used_frac=0.9, dirty_frac=0.2, hit_ratio=0.95,
+        ops_per_sec=20000.0, txn_per_sec=1200.0, read_frac=0.7,
+        point_frac=0.7, scan_frac=0.3, insert_frac=0.4,
+        log_bytes_per_txn=2100.0, log_waits_per_sec=5.0,
+        fsyncs_per_sec=80.0, flush_pages_per_sec=900.0,
+        read_ahead_per_sec=50.0, lock_wait_frac=0.05,
+        avg_lock_wait_ms=2.0, history_list_length=600.0,
+        threads_running=64.0, threads_connected=1500.0,
+        thread_cache_size=128.0, open_tables=64.0, open_files=128.0,
+        tmp_tables_per_sec=100.0, tmp_disk_tables_frac=0.2,
+        rows_per_query=3.0, wait_free_per_sec=0.0,
+    )
+    base.update(overrides)
+    return EngineSnapshot(**base)
+
+
+class TestCatalog:
+    def test_counts_match_paper(self):
+        # §2.1.1: "63 internal metrics … 14 state values and 49 cumulative".
+        assert len(STATE_METRICS) == 14
+        assert len(CUMULATIVE_METRICS) == 49
+        assert N_METRICS == 63
+
+    def test_names_unique(self):
+        assert len(set(METRIC_NAMES)) == 63
+
+    def test_plausible_innodb_names(self):
+        for name in ("innodb_buffer_pool_reads", "innodb_log_waits",
+                     "com_select", "threads_running",
+                     "created_tmp_disk_tables"):
+            assert name in METRIC_NAMES
+
+
+class TestDerivations:
+    def test_vector_matches_dict(self):
+        s = snapshot()
+        vector = metrics_vector(s)
+        named = metrics_dict(s)
+        assert vector.shape == (63,)
+        for i, name in enumerate(METRIC_NAMES):
+            assert named[name] == pytest.approx(vector[i])
+
+    def test_all_non_negative(self):
+        vector = metrics_vector(snapshot())
+        assert np.all(vector >= 0.0)
+
+    def test_hit_ratio_controls_physical_reads(self):
+        hot = metrics_dict(snapshot(hit_ratio=0.99))
+        cold = metrics_dict(snapshot(hit_ratio=0.30))
+        assert (cold["innodb_buffer_pool_reads"]
+                > hot["innodb_buffer_pool_reads"])
+        # Logical read requests are unchanged by the hit ratio.
+        assert hot["innodb_buffer_pool_read_requests"] == pytest.approx(
+            cold["innodb_buffer_pool_read_requests"])
+
+    def test_pool_pages_sum_to_total(self):
+        named = metrics_dict(snapshot())
+        total = named["innodb_buffer_pool_pages_total"]
+        parts = (named["innodb_buffer_pool_pages_data"]
+                 + named["innodb_buffer_pool_pages_free"]
+                 + named["innodb_buffer_pool_pages_misc"])
+        assert parts == pytest.approx(total, rel=0.05)
+        assert total == pytest.approx(4 * 1024 ** 3 / PAGE_SIZE)
+
+    def test_write_mix_splits_row_counters(self):
+        named = metrics_dict(snapshot(insert_frac=1.0, read_frac=0.0))
+        assert named["innodb_rows_updated"] == 0.0
+        assert named["innodb_rows_deleted"] == 0.0
+        assert named["innodb_rows_inserted"] > 0.0
+
+    def test_cumulative_scale_with_interval(self):
+        short = metrics_dict(snapshot(interval_s=10.0))
+        long = metrics_dict(snapshot(interval_s=100.0))
+        assert long["com_select"] == pytest.approx(10 * short["com_select"])
+        # State metrics do not scale with the interval.
+        assert long["threads_running"] == short["threads_running"]
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError):
+            metrics_vector(snapshot(), noise=0.1)
+
+    def test_noise_perturbs_but_stays_non_negative(self):
+        rng = np.random.default_rng(0)
+        noisy = metrics_vector(snapshot(), rng=rng, noise=0.2)
+        clean = metrics_vector(snapshot())
+        assert not np.allclose(noisy, clean)
+        assert np.all(noisy >= 0.0)
+
+    def test_lock_wait_metrics_track_contention(self):
+        calm = metrics_dict(snapshot(lock_wait_frac=0.0))
+        contended = metrics_dict(snapshot(lock_wait_frac=0.4,
+                                          avg_lock_wait_ms=15.0))
+        assert calm["innodb_row_lock_waits"] == 0.0
+        assert contended["innodb_row_lock_waits"] > 0.0
+        assert contended["innodb_row_lock_time"] > 0.0
+
+    def test_tmp_disk_tables_fraction(self):
+        named = metrics_dict(snapshot(tmp_disk_tables_frac=0.5))
+        assert named["created_tmp_disk_tables"] == pytest.approx(
+            0.5 * named["created_tmp_tables"])

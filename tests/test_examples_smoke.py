@@ -1,0 +1,32 @@
+"""Smoke checks for the example scripts (compile all, run the cheap one)."""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def test_examples_directory_has_five_scripts():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5
+
+
+@pytest.mark.parametrize("script", sorted(EXAMPLES.glob("*.py")),
+                         ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def test_performance_surface_runs():
+    """The cheapest example runs end to end and prints the heatmap."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "performance_surface.py")],
+        capture_output=True, text=True, timeout=180)
+    assert result.returncode == 0, result.stderr
+    assert "throughput surface" in result.stdout
+    assert "peak" in result.stdout

@@ -1,0 +1,133 @@
+"""Smoke-scale tests for the experiment drivers (full runs live in
+benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BENCH,
+    EXPERIMENTS,
+    FULL,
+    PAPER_STEP,
+    SMOKE,
+    TABLE2_ROWS,
+    TuningTimeModel,
+    cdb_default_config,
+    dba_knob_ranking,
+    format_table,
+    run_comparison,
+    run_fig1c,
+    run_fig1d,
+    run_table2,
+)
+from repro.dbsim import CDB_A, mysql_registry
+
+
+class TestScalePresets:
+    def test_presets_are_ordered(self):
+        assert SMOKE.train_steps < BENCH.train_steps <= FULL.train_steps
+        assert FULL.tune_steps == 5          # the paper's online budget
+        assert FULL.bestconfig_budget == 50  # the paper's BestConfig budget
+        assert FULL.ottertune_budget == 11   # Table 2
+
+    def test_invalid_scale_rejected(self):
+        from repro.experiments.common import Scale
+        with pytest.raises(ValueError):
+            Scale("bad", train_steps=0, episode_length=1, probe_every=1,
+                  tune_steps=1, bestconfig_budget=1, ottertune_budget=1,
+                  ottertune_samples=1, repeats=1)
+
+
+class TestRuntimeModel:
+    def test_step_is_about_five_minutes(self):
+        assert 4.5 < PAPER_STEP.step_minutes < 5.0
+
+    def test_table2_totals(self):
+        totals = {row.tool: row.total_minutes for row in TABLE2_ROWS}
+        assert totals == {"CDBTune": 25.0, "OtterTune": 55.0,
+                          "BestConfig": 250.0, "DBA": 516.0}
+
+    def test_offline_training_hours_match_paper(self):
+        model = TuningTimeModel()
+        assert model.offline_training_hours(knobs=266) == pytest.approx(
+            4.7, abs=0.2)
+        assert model.offline_training_hours(knobs=65) == pytest.approx(
+            2.3, abs=0.25)
+
+    def test_online_tuning_minutes(self):
+        model = TuningTimeModel()
+        assert model.online_tuning_minutes(5) == pytest.approx(
+            5 * PAPER_STEP.step_minutes)
+
+    def test_invalid_inputs(self):
+        model = TuningTimeModel()
+        with pytest.raises(ValueError):
+            model.online_tuning_minutes(0)
+        with pytest.raises(ValueError):
+            model.offline_training_hours(samples=0)
+
+
+class TestStaticExperiments:
+    def test_registry_covers_every_figure_and_table(self):
+        expected = {"fig1ab", "fig1c", "fig1d", "table2", "fig5", "fig6",
+                    "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                    "fig14", "fig15", "table6", "fig16", "fig17", "fig18"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_fig1c_monotone(self):
+        counts = list(run_fig1c().values())
+        assert counts == sorted(counts)
+
+    def test_fig1d_non_monotone_surface(self):
+        result = run_fig1d(grid=8)
+        assert result.throughput.shape == (8, 8)
+        assert not result.is_monotone_along_axis(0)
+
+    def test_fig1d_crash_cells_are_zero(self):
+        # Large log file × many files hits the crash region → zeros.
+        result = run_fig1d(knob_x="innodb_log_file_size",
+                           knob_y="innodb_log_files_in_group", grid=8)
+        assert np.any(result.throughput == 0.0)
+
+    def test_table2_driver(self):
+        result = run_table2()
+        assert result.offline_training_hours_266 == pytest.approx(4.7,
+                                                                  abs=0.2)
+        assert result.measured_phases_ms["recommendation_ms"] < 1000
+
+    def test_cdb_default_better_than_mysql_default(self):
+        from repro.dbsim import SimulatedDatabase, get_workload
+        registry = mysql_registry()
+        db = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                               registry=registry, noise=0.0)
+        mysql_default = db.evaluate(db.default_config()).throughput
+        cdb_default = db.evaluate(
+            cdb_default_config(registry, CDB_A)).throughput
+        assert cdb_default > mysql_default
+
+    def test_dba_ranking_covers_all_tunable(self):
+        registry = mysql_registry()
+        ranking = dba_knob_ranking(registry)
+        assert sorted(ranking) == sorted(registry.tunable_names)
+        assert ranking[0] == "innodb_buffer_pool_size"
+
+    def test_format_table_alignment(self):
+        table = format_table(("a", "bb"), [[1, 2.5], [10, 20.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+
+class TestComparisonSmoke:
+    def test_six_systems_reported(self):
+        result = run_comparison(CDB_A, "sysbench-rw", scale=SMOKE, seed=1)
+        assert set(result.performance) == {
+            "MySQL-default", "CDB-default", "BestConfig", "DBA",
+            "OtterTune", "CDBTune"}
+        table = result.table()
+        assert "CDBTune" in table
+
+    def test_improvement_over(self):
+        result = run_comparison(CDB_A, "sysbench-rw", scale=SMOKE, seed=1)
+        gain, _latency = result.improvement_over("MySQL-default")
+        assert np.isfinite(gain)

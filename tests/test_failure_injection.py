@@ -1,0 +1,175 @@
+"""Failure-injection and edge-case tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import CDB_A, CDBTune
+from repro.core import TuningEnvironment, offline_train
+from repro.dbsim import (
+    DatabaseCrashError,
+    HardwareSpec,
+    SimulatedDatabase,
+    WorkloadSpec,
+    get_workload,
+    mysql_registry,
+)
+from repro.dbsim.workload import sysbench_read_write
+
+
+class TestCrashStorms:
+    def test_training_in_a_crash_prone_space_survives(self):
+        """Restrict the action space to exactly the crash-inducing knobs:
+        training must survive a high crash rate and still return."""
+        registry = mysql_registry()
+        subset = registry.subset(["innodb_log_file_size",
+                                  "innodb_log_files_in_group"])
+        tuner = CDBTune(registry=subset, db_registry=registry, seed=1,
+                        noise=0.0)
+        result = tuner.offline_train(CDB_A, "sysbench-wo", max_steps=80,
+                                     probe_every=20,
+                                     stop_on_convergence=False)
+        assert result.steps == 80
+        assert result.crashes > 5  # the crash region is genuinely visited
+
+    def test_crash_reward_recorded_in_memory(self):
+        registry = mysql_registry()
+        database = SimulatedDatabase(CDB_A, get_workload("sysbench-wo"),
+                                     registry=registry, noise=0.0)
+        env = TuningEnvironment(database)
+        env.reset()
+        action = registry.to_vector(database.default_config())
+        names = registry.tunable_names
+        action[names.index("innodb_log_file_size")] = 1.0
+        action[names.index("innodb_log_files_in_group")] = 1.0
+        result = env.step(action)
+        assert result.crashed
+        assert result.performance is None
+        # The paper's punishment: a large negative constant (−100).
+        assert result.reward == -100.0
+
+    def test_repeated_crashes_do_not_poison_reward_state(self):
+        registry = mysql_registry()
+        database = SimulatedDatabase(CDB_A, get_workload("sysbench-wo"),
+                                     registry=registry, noise=0.0)
+        env = TuningEnvironment(database)
+        env.reset()
+        crash_action = registry.to_vector(database.default_config())
+        names = registry.tunable_names
+        crash_action[names.index("innodb_log_file_size")] = 1.0
+        crash_action[names.index("innodb_log_files_in_group")] = 1.0
+        for _ in range(3):
+            env.step(crash_action)
+        # A sane step afterwards still gets a finite, sensible reward.
+        sane = env.step(registry.to_vector(database.default_config()))
+        assert not sane.crashed
+        assert np.isfinite(sane.reward)
+
+
+class TestDegenerateConfigurations:
+    @pytest.fixture(scope="class")
+    def database(self):
+        return SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                 registry=mysql_registry(), noise=0.0)
+
+    def test_all_knobs_at_minimum(self, database):
+        config = {spec.name: spec.min_value
+                  for spec in database.registry.tunable}
+        observation = database.evaluate(config)
+        assert observation.throughput >= 1.0
+        assert np.isfinite(observation.latency)
+        assert np.all(np.isfinite(observation.metrics))
+
+    def test_all_knobs_at_maximum_crashes_or_survives_finitely(self, database):
+        config = {spec.name: spec.max_value
+                  for spec in database.registry.tunable}
+        try:
+            observation = database.evaluate(config)
+        except DatabaseCrashError:
+            return  # the oversized redo log crash is the expected outcome
+        assert np.isfinite(observation.throughput)
+
+    def test_extreme_connections_starved(self, database):
+        config = dict(database.default_config(), max_connections=10)
+        observation = database.evaluate(config)
+        assert observation.throughput >= 1.0
+
+    def test_tiny_everything_is_slow_but_finite(self, database):
+        config = dict(database.default_config())
+        config["innodb_buffer_pool_size"] = 32 * 1024 ** 2
+        config["innodb_log_buffer_size"] = 256 * 1024
+        config["innodb_io_capacity"] = 100
+        config["innodb_io_capacity_max"] = 100
+        observation = database.evaluate(config)
+        default = database.evaluate(database.default_config())
+        assert observation.throughput <= default.throughput * 1.1
+        assert np.isfinite(observation.latency)
+
+
+class TestDegenerateWorkloadsAndHardware:
+    def test_single_thread_workload(self):
+        workload = sysbench_read_write().scaled(threads=1)
+        database = SimulatedDatabase(CDB_A, workload, noise=0.0)
+        observation = database.evaluate(database.default_config())
+        assert observation.throughput >= 1.0
+
+    def test_tiny_dataset_fits_in_default_pool(self):
+        workload = sysbench_read_write().scaled(data_gb=0.05)
+        database = SimulatedDatabase(CDB_A, workload, noise=0.0)
+        observation = database.evaluate(database.default_config())
+        assert observation.snapshot.hit_ratio > 0.9
+
+    def test_tiny_hardware(self):
+        hardware = HardwareSpec("nano", ram_gb=1, disk_gb=10, cores=1)
+        database = SimulatedDatabase(hardware, get_workload("sysbench-rw"),
+                                     noise=0.0)
+        observation = database.evaluate(database.default_config())
+        assert np.isfinite(observation.throughput)
+
+    def test_invalid_workload_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="x", kind="oltp", read_frac=2.0,
+                         point_frac=1.0, scan_frac=0.0, insert_frac=0.5,
+                         data_gb=1.0, working_set_frac=0.5, skew=0.5,
+                         threads=10, ops_per_txn=1.0, cpu_us_per_op=10.0,
+                         log_bytes_per_txn=100.0, rows_per_op=1.0)
+
+    def test_invalid_hardware_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", ram_gb=0, disk_gb=10)
+        with pytest.raises(ValueError):
+            HardwareSpec("bad", ram_gb=8, disk_gb=100, medium="floppy")
+
+
+class TestAgentRobustness:
+    def test_training_with_measurement_noise(self):
+        """Noisy measurements (real stress tests) must not break training."""
+        tuner = CDBTune(seed=3, noise=0.05)
+        result = tuner.offline_train(CDB_A, "sysbench-rw", max_steps=80,
+                                     probe_every=20,
+                                     stop_on_convergence=False)
+        assert result.steps == 80
+        assert all(np.isfinite(r) for r in result.rewards)
+
+    def test_update_with_extreme_rewards_stays_finite(self):
+        from repro.rl import DDPGAgent, DDPGConfig
+        agent = DDPGAgent(DDPGConfig(state_dim=4, action_dim=3,
+                                     actor_hidden=(16,), critic_hidden=(16,),
+                                     critic_branch_width=8, dropout=0.0,
+                                     batch_size=8, seed=0))
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            reward = -100.0 if i % 3 == 0 else 600.0  # crash vs huge gain
+            agent.observe(rng.standard_normal(4), rng.random(3), reward,
+                          rng.standard_normal(4))
+        for _ in range(30):
+            stats = agent.update()
+            assert stats is not None
+            assert np.isfinite(stats["critic_loss"])
+            assert np.isfinite(stats["actor_loss"])
+        action = agent.act(np.zeros(4), explore=False)
+        assert np.all(np.isfinite(action))
+
+    def test_online_tuning_on_untrained_model_is_safe(self):
+        tuner = CDBTune(seed=5, noise=0.0)
+        run = tuner.tune(CDB_A, "sysbench-rw", steps=3, fine_tune=False)
+        assert run.best.throughput >= run.initial.throughput

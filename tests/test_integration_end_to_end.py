@@ -1,0 +1,111 @@
+"""End-to-end integration tests crossing every subsystem."""
+
+import numpy as np
+import pytest
+
+from repro import CDB_A, CDBTune, cdb_x1
+from repro.baselines import BestConfig, DBATuner
+from repro.dbsim import SimulatedDatabase, get_workload, mysql_registry
+from repro.dbsim.other_knobs import postgres_registry
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    """One adequately-trained tuner shared by the heavier assertions."""
+    tuner = CDBTune(seed=13, noise=0.0)
+    tuner.offline_train(CDB_A, "sysbench-rw", max_steps=300, probe_every=50,
+                        stop_on_convergence=False)
+    return tuner
+
+
+class TestEndToEnd:
+    def test_offline_then_online_improves_default(self, tuner):
+        run = tuner.tune(CDB_A, "sysbench-rw", steps=5)
+        assert run.best.throughput > 1.5 * run.initial.throughput
+        assert run.best.latency < run.initial.latency
+
+    def test_model_reuse_on_other_hardware(self, tuner):
+        """§5.3 in miniature: the trained model transfers to 32 GB RAM."""
+        run = tuner.clone().tune(cdb_x1(32), "sysbench-rw", steps=5)
+        assert run.best.throughput > run.initial.throughput
+
+    def test_model_reuse_on_other_workload(self, tuner):
+        run = tuner.clone().tune(CDB_A, "tpcc", steps=5)
+        assert run.best.throughput >= run.initial.throughput
+
+    def test_recommended_config_is_deployable(self, tuner):
+        """The recommendation round-trips through the recommender and the
+        database accepts it."""
+        run = tuner.tune(CDB_A, "sysbench-rw", steps=3)
+        recommendation = tuner.recommender.from_config(run.best_config)
+        database = tuner.make_database(CDB_A, "sysbench-rw")
+        observation = database.evaluate(recommendation.config)
+        assert observation.throughput > 0
+        assert len(recommendation.commands) == len(recommendation.config)
+
+    def test_save_load_serves_requests(self, tuner, tmp_path):
+        path = tmp_path / "cdbtune.npz"
+        tuner.save(path)
+        loaded = CDBTune(seed=99, noise=0.0).load(path)
+        run = loaded.tune(CDB_A, "sysbench-rw", steps=3)
+        assert run.best.throughput > run.initial.throughput
+
+    def test_crashes_survived_during_training(self):
+        """Training visits the §5.2.3 crash region and keeps going."""
+        fresh = CDBTune(seed=2, noise=0.0)
+        result = fresh.offline_train(CDB_A, "sysbench-wo", max_steps=120,
+                                     probe_every=40,
+                                     stop_on_convergence=False)
+        assert result.steps == 120  # no abort despite crashes
+        # With LHS warmup over the full knob box, some samples crash.
+        assert result.crashes > 0
+
+    def test_against_baselines_same_database(self, tuner):
+        """CDBTune's 5-step request beats BestConfig's 50-step search on
+        the identical instance (even at this reduced training budget)."""
+        registry = mysql_registry()
+        database = SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                     registry=registry, noise=0.0)
+        bestconfig = BestConfig(registry, seed=3).tune(database, budget=50)
+        run = tuner.clone().tune(CDB_A, "sysbench-rw", steps=5)
+        assert run.best.throughput > 0.8 * bestconfig.best_performance.throughput
+
+    def test_different_engine_end_to_end(self):
+        """Postgres catalog + adapter: train tiny, tune, improve."""
+        registry, adapter = postgres_registry()
+        tuner = CDBTune(registry=registry, adapter=adapter, seed=4,
+                        noise=0.0)
+        tuner.offline_train(CDB_A, "tpcc", max_steps=150, probe_every=50,
+                            stop_on_convergence=False)
+        run = tuner.tune(CDB_A, "tpcc", steps=5)
+        assert run.best.throughput >= run.initial.throughput
+        assert "shared_buffers_bytes" in run.best_config
+
+    def test_incremental_training_counts(self, tuner):
+        """Online requests add user-request samples (§2.1.1 incremental)."""
+        clone = tuner.clone()
+        before = len(clone.agent.memory)
+        clone.tune(CDB_A, "sysbench-rw", steps=4, fine_tune=True)
+        assert len(clone.agent.memory) - before == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_training(self):
+        results = []
+        for _ in range(2):
+            tuner = CDBTune(seed=21, noise=0.0)
+            training = tuner.offline_train(CDB_A, "sysbench-rw",
+                                           max_steps=60, probe_every=20,
+                                           stop_on_convergence=False)
+            results.append(tuple(training.probe_throughputs))
+        assert results[0] == results[1]
+
+    def test_different_seeds_differ(self):
+        probes = []
+        for seed in (1, 2):
+            tuner = CDBTune(seed=seed, noise=0.0)
+            training = tuner.offline_train(CDB_A, "sysbench-rw",
+                                           max_steps=60, probe_every=20,
+                                           stop_on_convergence=False)
+            probes.append(tuple(training.probe_throughputs))
+        assert probes[0] != probes[1]

@@ -1,0 +1,174 @@
+"""Unit tests for repro.nn layers, with numerical gradient checking."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        out = layer.forward(rng.standard_normal((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        x = rng.standard_normal((2, 4))
+        expected = x @ layer.weight.value + layer.bias.value
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_rejects_wrong_input_dim(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        with pytest.raises(ValueError, match="expected input dim"):
+            layer.forward(rng.standard_normal((2, 5)))
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradcheck(self, rng):
+        layer = nn.Linear(4, 3, rng=rng)
+        nn.check_module_gradients(layer, rng.standard_normal((3, 4)))
+
+    def test_gradients_accumulate(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        x = rng.standard_normal((1, 2))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [nn.ReLU, nn.Tanh, nn.Sigmoid])
+    def test_gradcheck(self, cls, rng):
+        nn.check_module_gradients(cls(), rng.standard_normal((4, 5)))
+
+    def test_leaky_relu_gradcheck(self, rng):
+        nn.check_module_gradients(nn.LeakyReLU(0.2),
+                                  rng.standard_normal((4, 5)) + 0.3)
+
+    def test_relu_clips_negative(self):
+        out = nn.ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 2.0]])
+
+    def test_leaky_relu_slope(self):
+        out = nn.LeakyReLU(0.2).forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 2.0]])
+
+    def test_sigmoid_range(self, rng):
+        out = nn.Sigmoid().forward(rng.standard_normal((10, 10)) * 100)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_sigmoid_no_overflow_on_large_negative(self):
+        out = nn.Sigmoid().forward(np.array([[-1e4]]))
+        assert np.isfinite(out).all()
+
+    def test_tanh_odd(self, rng):
+        x = rng.standard_normal((3, 3))
+        layer = nn.Tanh()
+        np.testing.assert_allclose(layer.forward(x), -layer.forward(-x))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.eval()
+        x = rng.standard_normal((4, 4))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_training_scales_kept_units(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        x = np.ones((1000, 10))
+        out = layer.forward(x)
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scale
+        assert 0.4 < (out != 0).mean() < 0.6
+
+    def test_backward_masks_gradient(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        x = np.ones((10, 10))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_allclose((grad != 0), (out != 0))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_training_normalizes_batch(self, rng):
+        layer = nn.BatchNorm1d(4)
+        x = rng.standard_normal((64, 4)) * 5 + 3
+        out = layer.forward(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_gradcheck_training(self, rng):
+        layer = nn.BatchNorm1d(3)
+        nn.check_module_gradients(layer, rng.standard_normal((6, 3)))
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = nn.BatchNorm1d(2)
+        for _ in range(200):
+            layer.forward(rng.standard_normal((32, 2)) * 2 + 1)
+        layer.eval()
+        x = np.array([[1.0, 1.0]])
+        out = layer.forward(x)
+        expected = (x - layer.running_mean) / np.sqrt(layer.running_var + layer.eps)
+        np.testing.assert_allclose(out, expected)
+
+    def test_running_stats_persist_in_state_dict(self, rng):
+        layer = nn.BatchNorm1d(2)
+        layer.forward(rng.standard_normal((16, 2)) + 7)
+        state = layer.state_dict()
+        assert "running_mean" in state
+        fresh = nn.BatchNorm1d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.running_mean, layer.running_mean)
+
+
+class TestSequential:
+    def test_forward_chains(self, rng):
+        net = nn.Sequential(nn.Linear(3, 5, rng=rng), nn.ReLU(),
+                            nn.Linear(5, 2, rng=rng))
+        out = net.forward(rng.standard_normal((4, 3)))
+        assert out.shape == (4, 2)
+
+    def test_gradcheck_deep(self, rng):
+        net = nn.Sequential(nn.Linear(3, 8, rng=rng), nn.Tanh(),
+                            nn.Linear(8, 8, rng=rng), nn.LeakyReLU(0.2),
+                            nn.Linear(8, 1, rng=rng))
+        nn.check_module_gradients(net, rng.standard_normal((5, 3)))
+
+    def test_train_eval_propagates(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.Dropout(0.5, rng=rng))
+        net.eval()
+        assert all(not layer.training for layer in net)
+        net.train()
+        assert all(layer.training for layer in net)
+
+    def test_len_and_indexing(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng=rng), nn.ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], nn.ReLU)
+
+    def test_parameters_enumerated(self, rng):
+        net = nn.Sequential(nn.Linear(2, 3, rng=rng), nn.Linear(3, 1, rng=rng))
+        names = dict(net.named_parameters())
+        assert set(names) == {"0.weight", "0.bias", "1.weight", "1.bias"}
+        assert net.num_parameters() == 2 * 3 + 3 + 3 * 1 + 1

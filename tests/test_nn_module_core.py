@@ -1,0 +1,161 @@
+"""Tests for the Module/Parameter core: registration, traversal, state."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_holds_value_and_zero_grad(self):
+        param = Parameter(np.ones((2, 3)))
+        assert param.shape == (2, 3)
+        assert param.size == 6
+        np.testing.assert_allclose(param.grad, 0.0)
+        param.grad += 5.0
+        param.zero_grad()
+        np.testing.assert_allclose(param.grad, 0.0)
+
+    def test_value_cast_to_float64(self):
+        param = Parameter(np.array([1, 2], dtype=np.int32))
+        assert param.value.dtype == np.float64
+
+
+class _Composite(Module):
+    """Two-level module tree for traversal tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.inner = nn.Linear(2, 2, rng=np.random.default_rng(0))
+        self.scale = Parameter(np.array([2.0]))
+
+    def forward(self, x):
+        return self.inner.forward(x) * self.scale.value
+
+    def backward(self, grad):
+        self.scale.grad += np.sum(grad * self.inner._input
+                                  @ self.inner.weight.value)
+        return self.inner.backward(grad * self.scale.value)
+
+
+class TestModuleTree:
+    def test_named_parameters_use_dotted_paths(self):
+        module = _Composite()
+        names = {name for name, _ in module.named_parameters()}
+        assert names == {"scale", "inner.weight", "inner.bias"}
+
+    def test_modules_iterates_depth_first(self):
+        module = _Composite()
+        kinds = [type(m).__name__ for m in module.modules()]
+        assert kinds == ["_Composite", "Linear"]
+
+    def test_zero_grad_recurses(self):
+        module = _Composite()
+        for param in module.parameters():
+            param.grad += 1.0
+        module.zero_grad()
+        for param in module.parameters():
+            np.testing.assert_allclose(param.grad, 0.0)
+
+    def test_num_parameters(self):
+        module = _Composite()
+        assert module.num_parameters() == 2 * 2 + 2 + 1
+
+    def test_state_dict_roundtrip_nested(self):
+        module = _Composite()
+        state = module.state_dict()
+        other = _Composite()
+        other.inner.weight.value[...] = 99.0
+        other.load_state_dict(state)
+        np.testing.assert_allclose(other.inner.weight.value,
+                                   module.inner.weight.value)
+
+    def test_state_dict_values_are_copies(self):
+        module = _Composite()
+        state = module.state_dict()
+        state["scale"][...] = 123.0
+        assert module.scale.value[0] == 2.0
+
+    def test_train_eval_flags(self):
+        module = _Composite()
+        module.eval()
+        assert not module.training and not module.inner.training
+        module.train()
+        assert module.training and module.inner.training
+
+    def test_add_module_registers(self):
+        module = Module()
+        module.add_module("child", nn.ReLU())
+        assert [type(m).__name__ for m in module.modules()] == ["Module",
+                                                                "ReLU"]
+
+    def test_forward_backward_abstract(self):
+        module = Module()
+        with pytest.raises(NotImplementedError):
+            module.forward(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            module.backward(np.zeros(1))
+
+
+class TestCriticModule:
+    def test_forward_requires_action(self):
+        from repro.rl import Critic
+        critic = Critic(4, 3, branch_width=8, hidden=(16,), dropout=0.0,
+                        rng=np.random.default_rng(0))
+        with pytest.raises(TypeError):
+            critic.forward(np.zeros((1, 4)))
+
+    def test_backward_splits_state_action_gradients(self):
+        from repro.rl import Critic
+        critic = Critic(4, 3, branch_width=8, hidden=(16,), dropout=0.0,
+                        rng=np.random.default_rng(0))
+        critic.eval()
+        out = critic.forward(np.random.rand(2, 4), np.random.rand(2, 3))
+        grad_state, grad_action = critic.backward(np.ones_like(out))
+        assert grad_state.shape == (2, 4)
+        assert grad_action.shape == (2, 3)
+
+    def test_action_gradient_matches_numeric(self):
+        from repro.rl import Critic
+        rng = np.random.default_rng(3)
+        critic = Critic(3, 2, branch_width=8, hidden=(16,), dropout=0.0,
+                        rng=rng)
+        critic.eval()
+        state = rng.random((1, 3))
+        action = rng.random((1, 2))
+        out = critic.forward(state, action)
+        _, grad_action = critic.backward(np.ones_like(out))
+        eps = 1e-6
+        for j in range(2):
+            plus = action.copy(); plus[0, j] += eps
+            minus = action.copy(); minus[0, j] -= eps
+            numeric = (critic.forward(state, plus)[0, 0]
+                       - critic.forward(state, minus)[0, 0]) / (2 * eps)
+            assert grad_action[0, j] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestActorBuilder:
+    def test_output_in_unit_box(self):
+        from repro.rl import build_actor
+        actor = build_actor(5, 7, hidden=(16, 8), dropout=0.0,
+                            rng=np.random.default_rng(0))
+        actor.eval()
+        out = actor.forward(np.random.default_rng(1).standard_normal((4, 5)))
+        assert out.shape == (4, 7)
+        assert np.all(out >= 0.0) and np.all(out <= 1.0)
+
+    def test_rejects_empty_hidden(self):
+        from repro.rl import build_actor
+        with pytest.raises(ValueError):
+            build_actor(5, 7, hidden=())
+
+    def test_paper_architecture_layer_count(self):
+        """Table 5's default actor: 4 hidden layers + output + sigmoid."""
+        from repro.rl import build_actor
+        actor = build_actor(63, 266, rng=np.random.default_rng(0))
+        linears = [l for l in actor if isinstance(l, nn.Linear)]
+        assert len(linears) == 5  # 4 hidden + output
+        assert linears[0].in_features == 63
+        assert linears[-1].out_features == 266
+        assert isinstance(actor[-1], nn.Sigmoid)

@@ -1,0 +1,174 @@
+"""Tests for optimizers, losses and serialization in repro.nn."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def _fit_line(optimizer_factory, rng, steps=400):
+    """Fit y = 2x + 1 with a single Linear layer; return final loss."""
+    layer = nn.Linear(1, 1, rng=rng)
+    optimizer = optimizer_factory(layer.parameters())
+    loss_fn = nn.MSELoss()
+    x = rng.standard_normal((64, 1))
+    y = 2.0 * x + 1.0
+    loss = np.inf
+    for _ in range(steps):
+        prediction = layer.forward(x)
+        loss = loss_fn(prediction, y)
+        optimizer.zero_grad()
+        layer.backward(loss_fn.backward())
+        optimizer.step()
+    return loss, layer
+
+
+class TestSGD:
+    def test_fits_linear_function(self, rng):
+        loss, layer = _fit_line(lambda p: nn.SGD(p, lr=0.1), rng)
+        assert loss < 1e-6
+        np.testing.assert_allclose(layer.weight.value, [[2.0]], atol=1e-3)
+        np.testing.assert_allclose(layer.bias.value, [1.0], atol=1e-3)
+
+    def test_momentum_accelerates(self, rng):
+        loss_plain, _ = _fit_line(lambda p: nn.SGD(p, lr=0.01), rng, steps=50)
+        rng2 = np.random.default_rng(7)
+        loss_momentum, _ = _fit_line(
+            lambda p: nn.SGD(p, lr=0.01, momentum=0.9), rng2, steps=50)
+        assert loss_momentum < loss_plain
+
+    def test_rejects_bad_lr(self, rng):
+        layer = nn.Linear(1, 1, rng=rng)
+        with pytest.raises(ValueError):
+            nn.SGD(layer.parameters(), lr=0.0)
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_fits_linear_function(self, rng):
+        loss, _ = _fit_line(lambda p: nn.Adam(p, lr=0.05), rng)
+        assert loss < 1e-6
+
+    def test_bias_correction_first_step(self, rng):
+        layer = nn.Linear(1, 1, rng=rng)
+        optimizer = nn.Adam(layer.parameters(), lr=0.1)
+        before = layer.weight.value.copy()
+        layer.weight.grad[...] = 1.0
+        layer.bias.grad[...] = 1.0
+        optimizer.step()
+        # With bias correction, the first step is ≈ lr regardless of betas.
+        np.testing.assert_allclose(before - layer.weight.value, 0.1, atol=1e-6)
+
+    def test_weight_decay_shrinks_weights(self, rng):
+        layer = nn.Linear(1, 1, rng=rng)
+        layer.weight.value[...] = 10.0
+        optimizer = nn.Adam(layer.parameters(), lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            optimizer.zero_grad()
+            optimizer.step()
+        assert abs(layer.weight.value[0, 0]) < 10.0
+
+    def test_invalid_betas(self, rng):
+        layer = nn.Linear(1, 1, rng=rng)
+        with pytest.raises(ValueError):
+            nn.Adam(layer.parameters(), betas=(1.0, 0.999))
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        for param in layer.parameters():
+            param.grad[...] = 10.0
+        pre_norm = nn.clip_grad_norm(layer.parameters(), 1.0)
+        assert pre_norm > 1.0
+        total = np.sqrt(sum(np.sum(p.grad ** 2) for p in layer.parameters()))
+        np.testing.assert_allclose(total, 1.0, rtol=1e-9)
+
+    def test_no_clip_when_below(self, rng):
+        layer = nn.Linear(2, 2, rng=rng)
+        for param in layer.parameters():
+            param.grad[...] = 1e-3
+        before = [p.grad.copy() for p in layer.parameters()]
+        nn.clip_grad_norm(layer.parameters(), 1.0)
+        for b, p in zip(before, layer.parameters()):
+            np.testing.assert_allclose(p.grad, b)
+
+
+class TestLosses:
+    def test_mse_value(self):
+        loss = nn.MSELoss()
+        value = loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert value == pytest.approx((1 + 4) / 2)
+
+    def test_mse_gradient_matches_numeric(self, rng):
+        loss = nn.MSELoss()
+        pred = rng.standard_normal((3, 2))
+        target = rng.standard_normal((3, 2))
+        loss(pred, target)
+        analytic = loss.backward()
+        numeric = nn.numerical_gradient(lambda p: loss(p, target), pred.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            nn.MSELoss()(np.zeros((1, 2)), np.zeros((1, 3)))
+
+    def test_huber_quadratic_region_matches_mse_half(self):
+        huber = nn.HuberLoss(delta=10.0)
+        pred = np.array([[0.5]])
+        target = np.array([[0.0]])
+        assert huber(pred, target) == pytest.approx(0.5 * 0.25)
+
+    def test_huber_linear_region_bounded_gradient(self):
+        huber = nn.HuberLoss(delta=1.0)
+        huber(np.array([[100.0]]), np.array([[0.0]]))
+        grad = huber.backward()
+        assert abs(grad[0, 0]) <= 1.0
+
+    def test_huber_gradient_matches_numeric(self, rng):
+        huber = nn.HuberLoss(delta=0.5)
+        pred = rng.standard_normal((4, 2)) * 2
+        target = rng.standard_normal((4, 2))
+        huber(pred, target)
+        analytic = huber.backward()
+        numeric = nn.numerical_gradient(lambda p: huber(p, target), pred.copy())
+        np.testing.assert_allclose(analytic, numeric, atol=1e-5)
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, rng, tmp_path):
+        net = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.Tanh(),
+                            nn.BatchNorm1d(4), nn.Linear(4, 2, rng=rng))
+        net.forward(rng.standard_normal((16, 3)))  # populate BN stats
+        net.eval()
+        x = rng.standard_normal((2, 3))
+        expected = net.forward(x)
+        path = tmp_path / "model.npz"
+        nn.save_module(net, path)
+
+        fresh = nn.Sequential(nn.Linear(3, 4, rng=rng), nn.Tanh(),
+                              nn.BatchNorm1d(4), nn.Linear(4, 2, rng=rng))
+        nn.load_module(fresh, path)
+        fresh.eval()
+        np.testing.assert_allclose(fresh.forward(x), expected)
+
+    def test_load_missing_key_raises(self, rng, tmp_path):
+        net = nn.Linear(2, 2, rng=rng)
+        path = tmp_path / "m.npz"
+        nn.save_state({"weight": net.weight.value}, path)
+        with pytest.raises(KeyError):
+            nn.load_module(nn.Linear(2, 2, rng=rng), path)
+
+    def test_load_shape_mismatch_raises(self, rng):
+        net = nn.Linear(2, 2, rng=rng)
+        with pytest.raises(ValueError):
+            net.load_state_dict({"weight": np.zeros((3, 3)),
+                                 "bias": np.zeros(2)})

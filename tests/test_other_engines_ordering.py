@@ -1,0 +1,114 @@
+"""Cross-engine sanity: the MongoDB/Postgres catalogs preserve the same
+tuning structure as the MySQL engine (Appendix C.3 preconditions)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DBATuner
+from repro.dbsim import (
+    CDB_C,
+    CDB_D,
+    CDB_E,
+    SimulatedDatabase,
+    get_workload,
+    mongodb_registry,
+    postgres_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def mongo():
+    registry, adapter = mongodb_registry()
+    database = SimulatedDatabase(CDB_E, get_workload("ycsb"),
+                                 registry=registry, adapter=adapter,
+                                 noise=0.0)
+    return registry, adapter, database
+
+
+@pytest.fixture(scope="module")
+def postgres():
+    registry, adapter = postgres_registry()
+    database = SimulatedDatabase(CDB_D, get_workload("tpcc"),
+                                 registry=registry, adapter=adapter,
+                                 noise=0.0)
+    return registry, adapter, database
+
+
+class TestMongoDB:
+    def test_dba_beats_default(self, mongo):
+        registry, adapter, database = mongo
+        outcome = DBATuner(registry, adapter=adapter).tune(database, budget=6)
+        assert (outcome.best_performance.throughput
+                > 1.5 * outcome.initial_performance.throughput)
+
+    def test_vector_roundtrip_full_catalog(self, mongo):
+        registry, _adapter, _database = mongo
+        rng = np.random.default_rng(0)
+        config = registry.random_config(rng)
+        vector = registry.to_vector(config)
+        decoded = registry.from_vector(vector)
+        for spec in registry.tunable:
+            assert spec.min_value <= decoded[spec.name] <= spec.max_value
+
+    def test_aux_knobs_have_negligible_effect(self, mongo):
+        registry, _adapter, database = mongo
+        base = database.default_config()
+        variant = dict(base, mongodb_aux_000=999)
+        delta = abs(database.evaluate(variant).throughput
+                    - database.evaluate(base).throughput)
+        assert delta / database.evaluate(base).throughput < 0.02
+
+
+class TestPostgres:
+    def test_dba_beats_default(self, postgres):
+        registry, adapter, database = postgres
+        outcome = DBATuner(registry, adapter=adapter).tune(database, budget=6)
+        assert (outcome.best_performance.throughput
+                > 1.5 * outcome.initial_performance.throughput)
+
+    def test_crash_region_reachable_via_wal_knobs(self, postgres):
+        registry, _adapter, database = postgres
+        from repro.dbsim import DatabaseCrashError
+        config = database.default_config()
+        config["max_wal_size_bytes"] = 16 * 1024 ** 3
+        config["wal_segments_per_checkpoint"] = 100  # 1.6 TB > 50 % of 200 GB
+        with pytest.raises(DatabaseCrashError):
+            database.evaluate(config)
+
+    def test_synchronous_commit_off_is_faster(self, postgres):
+        registry, _adapter, database = postgres
+        base = database.default_config()
+        off = dict(base, synchronous_commit=0)
+        on = dict(base, synchronous_commit=1)
+        assert (database.evaluate(off).throughput
+                >= database.evaluate(on).throughput)
+
+
+class TestEngineParity:
+    def test_metric_vectors_same_shape_across_engines(self, mongo, postgres):
+        _r1, _a1, mongo_db = mongo
+        _r2, _a2, postgres_db = postgres
+        assert mongo_db.evaluate(
+            mongo_db.default_config()).metrics.shape == (63,)
+        assert postgres_db.evaluate(
+            postgres_db.default_config()).metrics.shape == (63,)
+
+    def test_mysql_and_postgres_share_canonical_engine(self):
+        """Postgres via the adapter ≈ MySQL with equivalent canonical
+        settings: the same storage-engine model underneath."""
+        registry, adapter, _ = postgres_registry(), None, None
+        pg_registry, pg_adapter = postgres_registry()
+        pg_db = SimulatedDatabase(CDB_C, get_workload("tpcc"),
+                                  registry=pg_registry, adapter=pg_adapter,
+                                  noise=0.0)
+        mysql_db = SimulatedDatabase(CDB_C, get_workload("tpcc"), noise=0.0)
+        pg_config = pg_db.default_config()
+        mysql_config = mysql_db.default_config()
+        # Translate the postgres defaults onto the canonical knobs.
+        for native, canonical in pg_adapter.items():
+            mysql_config[canonical] = pg_config[native]
+        pg_throughput = pg_db.evaluate(pg_config).throughput
+        mysql_throughput = mysql_db.evaluate(mysql_config).throughput
+        # Same canonical inputs — differences come only from each catalog's
+        # own minor-knob defaults (small).
+        assert pg_throughput == pytest.approx(mysql_throughput, rel=0.25)

@@ -1,0 +1,65 @@
+"""Unit tests for pipeline internals and result dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    TrainingResult,
+    TuningResult,
+    _latin_hypercube,
+)
+from repro.rl.reward import PerformanceSample
+
+
+class TestLatinHypercube:
+    def test_stratification_per_dimension(self):
+        rng = np.random.default_rng(0)
+        n, dim = 16, 5
+        samples = _latin_hypercube(rng, n, dim)
+        assert samples.shape == (n, dim)
+        for j in range(dim):
+            bins = np.floor(samples[:, j] * n).astype(int)
+            assert sorted(np.clip(bins, 0, n - 1)) == list(range(n))
+
+    def test_values_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        samples = _latin_hypercube(rng, 7, 3)
+        assert np.all(samples >= 0.0) and np.all(samples <= 1.0)
+
+    def test_different_rng_different_plan(self):
+        a = _latin_hypercube(np.random.default_rng(1), 8, 2)
+        b = _latin_hypercube(np.random.default_rng(2), 8, 2)
+        assert not np.allclose(a, b)
+
+
+class TestTrainingResult:
+    def test_final_probe(self):
+        result = TrainingResult(steps=10, episodes=2, converged=False,
+                                iterations_to_convergence=None,
+                                probe_throughputs=[100.0, 200.0],
+                                probe_latencies=[50.0, 25.0])
+        final = result.final_probe
+        assert final.throughput == 200.0
+        assert final.latency == 25.0
+
+    def test_final_probe_empty(self):
+        result = TrainingResult(steps=0, episodes=0, converged=False,
+                                iterations_to_convergence=None)
+        assert result.final_probe is None
+
+
+class TestTuningResult:
+    def test_improvement_properties(self):
+        result = TuningResult(
+            initial=PerformanceSample(100.0, 1000.0),
+            best=PerformanceSample(150.0, 500.0),
+            best_config={}, steps=5)
+        assert result.throughput_improvement == pytest.approx(0.5)
+        assert result.latency_improvement == pytest.approx(0.5)
+
+    def test_no_improvement_is_zero(self):
+        sample = PerformanceSample(100.0, 1000.0)
+        result = TuningResult(initial=sample, best=sample, best_config={},
+                              steps=5)
+        assert result.throughput_improvement == 0.0
+        assert result.latency_improvement == 0.0

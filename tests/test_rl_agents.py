@@ -1,0 +1,256 @@
+"""Tests for DDPG, DQN, tabular Q-learning, noise and spaces."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    Box,
+    DDPGAgent,
+    DDPGConfig,
+    DQNAgent,
+    DQNConfig,
+    DecaySchedule,
+    GaussianNoise,
+    OrnsteinUhlenbeckNoise,
+    QLearningAgent,
+    RunningNormalizer,
+    action_space_size,
+    state_space_size,
+)
+
+
+class TestBox:
+    def test_unit_roundtrip(self):
+        box = Box([0.0, -5.0], [10.0, 5.0])
+        point = np.array([2.5, 0.0])
+        np.testing.assert_allclose(box.from_unit(box.to_unit(point)), point)
+
+    def test_clip_and_contains(self):
+        box = Box(0.0, 1.0, dim=3)
+        assert box.contains(np.array([0.5, 0.0, 1.0]))
+        clipped = box.clip(np.array([-1.0, 2.0, 0.5]))
+        np.testing.assert_allclose(clipped, [0.0, 1.0, 0.5])
+
+    def test_sample_inside(self):
+        box = Box(-2.0, 3.0, dim=4)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert box.contains(box.sample(rng))
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Box([1.0], [0.0])
+
+
+class TestRunningNormalizer:
+    def test_matches_batch_statistics(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((500, 4)) * 3 + 7
+        normalizer = RunningNormalizer(4)
+        for chunk in np.array_split(data, 10):
+            normalizer.update(chunk)
+        np.testing.assert_allclose(normalizer.mean, data.mean(axis=0),
+                                   rtol=1e-9)
+        np.testing.assert_allclose(normalizer.var, data.var(axis=0),
+                                   rtol=1e-6)
+
+    def test_normalize_clips(self):
+        normalizer = RunningNormalizer(1, clip=2.0)
+        normalizer.update(np.zeros((10, 1)))
+        out = normalizer.normalize(np.array([1e9]))
+        assert np.all(np.abs(out) <= 2.0)
+
+    def test_state_dict_roundtrip(self):
+        normalizer = RunningNormalizer(2)
+        normalizer.update(np.random.default_rng(0).random((20, 2)))
+        fresh = RunningNormalizer(2)
+        fresh.load_state_dict(normalizer.state_dict())
+        np.testing.assert_allclose(fresh.mean, normalizer.mean)
+        np.testing.assert_allclose(fresh.var, normalizer.var)
+
+
+class TestNoise:
+    def test_ou_is_temporally_correlated(self):
+        noise = OrnsteinUhlenbeckNoise(1, sigma=0.2,
+                                       rng=np.random.default_rng(0))
+        samples = np.array([noise.sample()[0] for _ in range(2000)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.5  # strong autocorrelation
+
+    def test_ou_reset(self):
+        noise = OrnsteinUhlenbeckNoise(3, mu=0.5)
+        noise.sample()
+        noise.reset()
+        np.testing.assert_allclose(noise.state, 0.5)
+
+    def test_gaussian_decay(self):
+        noise = GaussianNoise(2, sigma=1.0, sigma_min=0.1, decay=0.5,
+                              rng=np.random.default_rng(0))
+        for _ in range(10):
+            noise.sample()
+        assert noise.sigma == pytest.approx(0.1)
+
+    def test_decay_schedule_linear(self):
+        schedule = DecaySchedule(1.0, 0.0, steps=10)
+        assert schedule(0) == 1.0
+        assert schedule(5) == pytest.approx(0.5)
+        assert schedule(100) == 0.0
+
+    def test_decay_schedule_exponential(self):
+        schedule = DecaySchedule(1.0, 0.01, steps=10, mode="exponential")
+        assert schedule(10) == pytest.approx(0.01)
+
+
+class TestQLearning:
+    def test_state_space_explosion(self):
+        # §3.3: 63 metrics × 100 bins ⇒ 100^63 states.
+        assert state_space_size(63, 100) == 100 ** 63
+        assert action_space_size(266, 100) == 100 ** 266
+
+    def test_learns_simple_chain(self):
+        # Two states, two actions; action 1 always pays +1.
+        agent = QLearningAgent(2, alpha=0.5, gamma=0.0, epsilon=0.2,
+                               rng=np.random.default_rng(0))
+        for _ in range(200):
+            for state in ("a", "b"):
+                action = agent.act(state)
+                reward = 1.0 if action == 1 else 0.0
+                agent.update(state, action, reward, state)
+        assert agent.greedy_policy() == {"a": 1, "b": 1}
+
+    def test_td_error_returned(self):
+        agent = QLearningAgent(2, alpha=1.0, gamma=0.0)
+        err = agent.update("s", 0, 5.0, "s")
+        assert err == pytest.approx(5.0)
+        assert agent.q_values("s")[0] == pytest.approx(5.0)
+
+    def test_table_grows_with_states(self):
+        agent = QLearningAgent(2)
+        for i in range(50):
+            agent.q_values(i)
+        assert agent.table_size == 50
+
+    def test_invalid_action(self):
+        agent = QLearningAgent(2)
+        with pytest.raises(ValueError):
+            agent.update("s", 5, 0.0, "s")
+
+
+class TestDQN:
+    def test_learns_state_dependent_bandit(self):
+        config = DQNConfig(state_dim=2, n_actions=2, hidden=(32,),
+                           epsilon_decay_steps=150, gamma=0.0, seed=0,
+                           batch_size=16)
+        agent = DQNAgent(config)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            state = rng.standard_normal(2)
+            action = agent.act(state)
+            correct = int(state[0] > 0)
+            reward = 1.0 if action == correct else -1.0
+            agent.observe(state, action, reward, rng.standard_normal(2),
+                          done=True)
+            agent.update()
+        hits = 0
+        for _ in range(100):
+            state = rng.standard_normal(2)
+            if agent.act(state, explore=False) == int(state[0] > 0):
+                hits += 1
+        assert hits >= 85
+
+    def test_epsilon_decays(self):
+        agent = DQNAgent(DQNConfig(state_dim=2, n_actions=2,
+                                   epsilon_decay_steps=10, seed=0))
+        assert agent.epsilon == pytest.approx(1.0)
+        agent.train_steps = 10
+        assert agent.epsilon == pytest.approx(agent.config.epsilon_end)
+
+
+class TestDDPG:
+    @pytest.fixture
+    def small_config(self):
+        return DDPGConfig(state_dim=4, action_dim=3, actor_hidden=(16, 16),
+                          critic_hidden=(32, 16), critic_branch_width=16,
+                          dropout=0.0, batch_size=16, seed=1, gamma=0.0,
+                          tau=0.02, noise_sigma=0.15)
+
+    def test_act_in_unit_box(self, small_config):
+        agent = DDPGAgent(small_config)
+        action = agent.act(np.zeros(4), explore=True)
+        assert action.shape == (3,)
+        assert np.all(action >= 0.0) and np.all(action <= 1.0)
+
+    def test_act_rejects_wrong_dim(self, small_config):
+        agent = DDPGAgent(small_config)
+        with pytest.raises(ValueError):
+            agent.act(np.zeros(5))
+
+    def test_update_needs_full_batch(self, small_config):
+        agent = DDPGAgent(small_config)
+        assert agent.update() is None
+
+    def test_solves_quadratic_bandit(self, small_config):
+        agent = DDPGAgent(small_config)
+        rng = np.random.default_rng(0)
+        target = np.array([0.7, 0.3, 0.5])
+        for _ in range(700):
+            state = rng.standard_normal(4)
+            action = agent.act(state, explore=True)
+            reward = -float(np.sum((action - target) ** 2))
+            agent.observe(state, action, reward, rng.standard_normal(4),
+                          done=True)
+            agent.update()
+        greedy = np.mean([agent.act(rng.standard_normal(4), explore=False)
+                          for _ in range(30)], axis=0)
+        np.testing.assert_allclose(greedy, target, atol=0.15)
+
+    def test_state_dict_roundtrip(self, small_config):
+        agent = DDPGAgent(small_config)
+        agent.best_known_action = np.array([0.1, 0.2, 0.3])
+        clone = DDPGAgent(small_config)
+        clone.load_state_dict(agent.state_dict())
+        state = np.ones(4)
+        np.testing.assert_allclose(clone.act(state, explore=False),
+                                   agent.act(state, explore=False))
+        np.testing.assert_allclose(clone.best_known_action,
+                                   agent.best_known_action)
+
+    def test_clone_matches(self, small_config):
+        agent = DDPGAgent(small_config)
+        clone = agent.clone()
+        state = np.full(4, 0.5)
+        np.testing.assert_allclose(clone.act(state, explore=False),
+                                   agent.act(state, explore=False))
+
+    def test_imitate_moves_policy_to_target(self, small_config):
+        agent = DDPGAgent(small_config)
+        rng = np.random.default_rng(0)
+        target = np.array([0.62, 0.31, 0.87])
+        states = rng.standard_normal((16, 4))
+        for _ in range(400):
+            agent.imitate(states, target, lr=3e-3)
+        out = agent.act(states[0], explore=False)
+        np.testing.assert_allclose(out, target, atol=0.02)
+
+    def test_target_networks_track_slowly(self, small_config):
+        agent = DDPGAgent(small_config)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            agent.observe(rng.standard_normal(4), rng.random(3), 1.0,
+                          rng.standard_normal(4))
+        before = agent.target_actor.state_dict()
+        agent.update()
+        after = agent.target_actor.state_dict()
+        main = agent.actor.state_dict()
+        for name in before:
+            # Targets moved, but only a tau-fraction toward the main net.
+            moved = np.abs(after[name] - before[name]).max()
+            gap = np.abs(main[name] - after[name]).max()
+            if gap > 1e-9:
+                assert moved <= gap
+
+    def test_reward_scale_validation(self):
+        with pytest.raises(ValueError):
+            DDPGConfig(state_dim=2, action_dim=2, reward_scale=0.0)
+        with pytest.raises(ValueError):
+            DDPGConfig(state_dim=2, action_dim=2, noise_type="bogus")

@@ -1,0 +1,159 @@
+"""Tests for replay memories and the sum tree (§2.2.4, §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    PrioritizedReplayMemory,
+    ReplayMemory,
+    SumTree,
+    Transition,
+)
+
+
+def _transition(i: int) -> Transition:
+    return Transition(state=np.full(3, float(i)), action=np.full(2, float(i)),
+                      reward=float(i), next_state=np.full(3, float(i + 1)))
+
+
+class TestTransition:
+    def test_astuple(self):
+        t = _transition(1)
+        state, action, reward, next_state, done = t.astuple()
+        assert reward == 1.0 and not done
+
+
+class TestReplayMemory:
+    def test_push_and_len(self):
+        memory = ReplayMemory(10)
+        for i in range(5):
+            memory.push(_transition(i))
+        assert len(memory) == 5
+
+    def test_ring_buffer_overwrites_oldest(self):
+        memory = ReplayMemory(3)
+        for i in range(5):
+            memory.push(_transition(i))
+        assert len(memory) == 3
+        rewards = {t.reward for t in memory}
+        assert rewards == {2.0, 3.0, 4.0}
+
+    def test_sample_shapes(self):
+        memory = ReplayMemory(10, rng=np.random.default_rng(0))
+        for i in range(6):
+            memory.push(_transition(i))
+        batch = memory.sample(4)
+        assert batch.states.shape == (4, 3)
+        assert batch.actions.shape == (4, 2)
+        assert batch.rewards.shape == (4,)
+        assert len(batch) == 4
+        assert np.all(batch.weights == 1.0)
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReplayMemory(4).sample(1)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayMemory(0)
+
+    def test_clear(self):
+        memory = ReplayMemory(4)
+        memory.push(_transition(0))
+        memory.clear()
+        assert len(memory) == 0
+
+
+class TestSumTree:
+    def test_total_tracks_updates(self):
+        tree = SumTree(4)
+        tree.update(0, 1.0)
+        tree.update(1, 2.0)
+        assert tree.total == pytest.approx(3.0)
+        tree.update(0, 0.5)
+        assert tree.total == pytest.approx(2.5)
+
+    def test_find_respects_proportions(self):
+        tree = SumTree(4)
+        tree.update(0, 1.0)
+        tree.update(1, 3.0)
+        # Prefix < 1 → leaf 0; prefix in [1, 4) → leaf 1.
+        assert tree.find(0.5) == 0
+        assert tree.find(1.5) == 1
+        assert tree.find(3.9) == 1
+
+    def test_find_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            SumTree(4).find(0.0)
+
+    def test_out_of_range_update(self):
+        tree = SumTree(4)
+        with pytest.raises(IndexError):
+            tree.update(4, 1.0)
+        with pytest.raises(ValueError):
+            tree.update(0, -1.0)
+
+    def test_statistical_proportionality(self):
+        tree = SumTree(8)
+        priorities = [1.0, 2.0, 4.0, 8.0]
+        for i, p in enumerate(priorities):
+            tree.update(i, p)
+        rng = np.random.default_rng(1)
+        counts = np.zeros(4)
+        for _ in range(4000):
+            counts[tree.find(rng.uniform(0, tree.total))] += 1
+        fractions = counts / counts.sum()
+        expected = np.array(priorities) / sum(priorities)
+        np.testing.assert_allclose(fractions, expected, atol=0.03)
+
+
+class TestPrioritizedReplayMemory:
+    def test_sample_returns_weights_and_indices(self):
+        memory = PrioritizedReplayMemory(16, rng=np.random.default_rng(0))
+        for i in range(8):
+            memory.push(_transition(i))
+        batch = memory.sample(4)
+        assert batch.weights.shape == (4,)
+        assert batch.indices.shape == (4,)
+        assert np.all(batch.weights > 0) and np.all(batch.weights <= 1.0)
+
+    def test_high_priority_sampled_more(self):
+        memory = PrioritizedReplayMemory(8, alpha=1.0, beta=1.0,
+                                         rng=np.random.default_rng(3))
+        for i in range(8):
+            memory.push(_transition(i))
+        # Give transition 0 a huge TD error.
+        memory.update_priorities(np.array([0]), np.array([100.0]))
+        counts = np.zeros(8)
+        for _ in range(300):
+            batch = memory.sample(4)
+            for idx in batch.indices:
+                counts[idx] += 1
+        assert counts[0] == counts.max()
+
+    def test_beta_anneals_toward_one(self):
+        memory = PrioritizedReplayMemory(8, beta=0.4, beta_increment=0.1,
+                                         rng=np.random.default_rng(0))
+        for i in range(4):
+            memory.push(_transition(i))
+        for _ in range(10):
+            memory.sample(2)
+        assert memory.beta == pytest.approx(1.0)
+
+    def test_ring_semantics(self):
+        memory = PrioritizedReplayMemory(3, rng=np.random.default_rng(0))
+        for i in range(5):
+            memory.push(_transition(i))
+        assert len(memory) == 3
+        rewards = {t.reward for t in memory}
+        assert rewards == {2.0, 3.0, 4.0}
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayMemory(4).sample(1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PrioritizedReplayMemory(4, alpha=-0.1)
+        with pytest.raises(ValueError):
+            PrioritizedReplayMemory(4, beta=1.5)

@@ -1,0 +1,154 @@
+"""Tests for the §4.2 reward functions and Appendix C.1.1 variants."""
+
+import numpy as np
+import pytest
+
+from repro.rl import (
+    CDBTuneReward,
+    InitialOnlyReward,
+    NoZeroingReward,
+    PerformanceSample,
+    PreviousOnlyReward,
+    REWARD_FUNCTIONS,
+    delta,
+    make_reward_function,
+)
+
+
+def perf(throughput, latency):
+    return PerformanceSample(throughput=throughput, latency=latency)
+
+
+class TestDelta:
+    def test_throughput_improvement_positive(self):
+        assert delta(120.0, 100.0) == pytest.approx(0.2)
+
+    def test_latency_improvement_positive(self):
+        # Eq. 5: lower latency is an improvement, so the sign flips.
+        assert delta(80.0, 100.0, lower_is_better=True) == pytest.approx(0.2)
+
+    def test_clipped_against_degenerate_measurements(self):
+        assert delta(1e18, 1.0) == 100.0
+        assert delta(1e18, 1.0, lower_is_better=True) == -100.0
+
+
+class TestCDBTuneReward:
+    def test_requires_reset(self):
+        with pytest.raises(RuntimeError):
+            CDBTuneReward()(perf(1, 1))
+
+    def test_improvement_yields_positive_reward(self):
+        reward = CDBTuneReward()
+        reward.reset(perf(100, 1000))
+        assert reward(perf(150, 800)) > 0
+
+    def test_regression_yields_negative_reward(self):
+        reward = CDBTuneReward()
+        reward.reset(perf(100, 1000))
+        assert reward(perf(50, 2000)) < 0
+
+    def test_zeroing_rule(self):
+        # Better than initial but worse than previous: positive Eq. 6 value
+        # is zeroed (§4.2, "we set the r = 0").
+        reward = CDBTuneReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        reward(perf(200, 1000))  # big improvement
+        value = reward(perf(150, 1000))  # still above initial, below previous
+        assert value == 0.0
+
+    def test_crash_penalty(self):
+        reward = CDBTuneReward(crash_penalty=-100.0)
+        reward.reset(perf(100, 1000))
+        assert reward(None) == -100.0
+
+    def test_no_change_is_zero(self):
+        reward = CDBTuneReward()
+        reward.reset(perf(100, 1000))
+        assert reward(perf(100, 1000)) == pytest.approx(0.0)
+
+    def test_eq6_magnitude(self):
+        # Pure throughput: Δ0 = 1.0 (doubled), Δprev = 1.0 on first step →
+        # r = ((1+1)^2 − 1)·|1+1| = 6.
+        reward = CDBTuneReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        assert reward(perf(200, 1000)) == pytest.approx(6.0)
+
+    def test_coefficients_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            CDBTuneReward(c_throughput=0.7, c_latency=0.7)
+
+    def test_previous_tracks_last_sample(self):
+        reward = CDBTuneReward()
+        reward.reset(perf(100, 1000))
+        reward(perf(120, 900))
+        assert reward.previous.throughput == 120
+
+
+class TestVariants:
+    def test_previous_only_ignores_initial(self):
+        # RF-A: improvement over the previous step scores positive even if
+        # still below the initial performance.
+        reward = PreviousOnlyReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        reward(perf(40, 1000))
+        assert reward(perf(60, 1000)) > 0  # worse than initial, but rising
+
+    def test_cdbtune_disagrees_with_previous_only(self):
+        reward = CDBTuneReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        reward(perf(40, 1000))
+        assert reward(perf(60, 1000)) < 0  # still below initial
+
+    def test_initial_only_ignores_path(self):
+        # RF-B scores only against the initial settings.
+        reward = InitialOnlyReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        first = reward(perf(150, 1000))
+        reward.reset(perf(100, 1000))
+        reward(perf(500, 1000))  # very different path
+        second = reward(perf(150, 1000))
+        assert first == pytest.approx(second)
+
+    def test_no_zeroing_keeps_positive_on_regression(self):
+        reward = NoZeroingReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        reward(perf(200, 1000))
+        assert reward(perf(150, 1000)) > 0  # RF-C skips the zeroing rule
+
+    def test_registry_contains_all_four(self):
+        assert set(REWARD_FUNCTIONS) == {"RF-CDBTune", "RF-A", "RF-B", "RF-C"}
+
+    def test_factory(self):
+        assert isinstance(make_reward_function("RF-A"), PreviousOnlyReward)
+        with pytest.raises(ValueError):
+            make_reward_function("RF-X")
+
+
+class TestPerformanceSample:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PerformanceSample(throughput=-1.0, latency=1.0)
+        with pytest.raises(ValueError):
+            PerformanceSample(throughput=1.0, latency=-1.0)
+
+
+class TestRewardWeighting:
+    def test_throughput_only_ignores_latency(self):
+        reward = CDBTuneReward(c_throughput=1.0, c_latency=0.0)
+        reward.reset(perf(100, 1000))
+        assert reward(perf(100, 5000)) == pytest.approx(0.0)
+
+    def test_latency_weight_penalizes_slowdown(self):
+        reward = CDBTuneReward(c_throughput=0.0, c_latency=1.0)
+        reward.reset(perf(100, 1000))
+        assert reward(perf(100, 5000)) < 0
+
+    def test_eq7_linear_combination(self):
+        throughput_only = CDBTuneReward(c_throughput=1.0, c_latency=0.0)
+        latency_only = CDBTuneReward(c_throughput=0.0, c_latency=1.0)
+        blended = CDBTuneReward(c_throughput=0.3, c_latency=0.7)
+        for reward in (throughput_only, latency_only, blended):
+            reward.reset(perf(100, 1000))
+        sample = perf(180, 400)
+        expected = (0.3 * throughput_only(sample) + 0.7 * latency_only(sample))
+        assert blended(sample) == pytest.approx(expected)
