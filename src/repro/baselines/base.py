@@ -9,13 +9,17 @@ spent, which is what the §5.1 efficiency comparison is about.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from ..dbsim.engine import SimulatedDatabase
 from ..dbsim.errors import DatabaseCrashError
 from ..rl.reward import PerformanceSample
 
-__all__ = ["TuneOutcome", "BaseTuner", "performance_score", "safe_evaluate"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.parallel import ParallelEvaluator
+
+__all__ = ["TuneOutcome", "BaseTuner", "performance_score", "safe_evaluate",
+           "batch_evaluate"]
 
 
 def performance_score(perf: PerformanceSample, baseline: PerformanceSample,
@@ -39,6 +43,26 @@ def safe_evaluate(database: SimulatedDatabase, config: Dict[str, float],
         return database.evaluate(config, trial=trial).performance
     except DatabaseCrashError:
         return None
+
+
+def batch_evaluate(database: SimulatedDatabase,
+                   configs: Sequence[Dict[str, float]],
+                   trials: Sequence[int],
+                   evaluator: "ParallelEvaluator | None" = None,
+                   ) -> List[PerformanceSample | None]:
+    """Evaluate several configs in order; ``None`` marks a crash.
+
+    With an evaluator the batch fans out across its worker pool (and the
+    database's evaluation cache); without one it degrades to sequential
+    :func:`safe_evaluate` calls.  Both paths return identical samples
+    because the simulator is deterministic per (seed, config, trial).
+    """
+    if evaluator is not None:
+        observations = evaluator.evaluate_batch(configs, trials=trials)
+        return [obs.performance if obs is not None else None
+                for obs in observations]
+    return [safe_evaluate(database, config, trial=trial)
+            for config, trial in zip(configs, trials)]
 
 
 @dataclass

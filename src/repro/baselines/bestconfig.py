@@ -14,11 +14,15 @@ the paper's core criticism — so the tuner carries no state between calls.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 import numpy as np
 
-from .base import BaseTuner, TuneOutcome, performance_score, safe_evaluate
+from .base import (BaseTuner, TuneOutcome, batch_evaluate, performance_score,
+                   safe_evaluate)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.parallel import ParallelEvaluator
 from ..dbsim.engine import SimulatedDatabase
 from ..dbsim.knobs import KnobRegistry
 from ..rl.reward import PerformanceSample
@@ -53,7 +57,8 @@ class BestConfig(BaseTuner):
             samples[:, j] = low[j] + (perm + offsets) * width
         return np.clip(samples, 0.0, 1.0)
 
-    def tune(self, database: SimulatedDatabase, budget: int = 50) -> TuneOutcome:
+    def tune(self, database: SimulatedDatabase, budget: int = 50,
+             evaluator: "ParallelEvaluator | None" = None) -> TuneOutcome:
         """Search with a total stress-test budget (paper gives it 50 steps)."""
         if budget <= 0:
             raise ValueError("budget must be positive")
@@ -77,10 +82,14 @@ class BestConfig(BaseTuner):
             samples = self._dds(rng, low, high, k)
             round_best_vector = None
             round_best_score = -np.inf
-            for row in samples:
-                config = self.registry.from_vector(row)
-                perf = safe_evaluate(database, config,
-                                     trial=self._next_trial())
+            # A DDS round's samples are independent of one another — the
+            # search only adapts *between* rounds — so evaluate the round
+            # as one batch.
+            configs = [self.registry.from_vector(row) for row in samples]
+            trials = [self._next_trial() for _ in configs]
+            perfs = batch_evaluate(database, configs, trials,
+                                   evaluator=evaluator)
+            for row, config, perf in zip(samples, configs, perfs):
                 history.append((config, perf))
                 spent += 1
                 score = (-1.0 if perf is None

@@ -10,11 +10,15 @@ it against OtterTune isolates how much OtterTune's pipeline stages
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
 
-from .base import BaseTuner, TuneOutcome, performance_score, safe_evaluate
+from .base import (BaseTuner, TuneOutcome, batch_evaluate, performance_score,
+                   safe_evaluate)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.parallel import ParallelEvaluator
 from .gp import GaussianProcess
 from ..dbsim.engine import SimulatedDatabase
 from ..dbsim.knobs import KnobRegistry
@@ -68,7 +72,8 @@ class ITuned(BaseTuner):
             samples[:, j] = (perm + self.rng.random(n)) / n
         return samples
 
-    def tune(self, database: SimulatedDatabase, budget: int = 20) -> TuneOutcome:
+    def tune(self, database: SimulatedDatabase, budget: int = 20,
+             evaluator: "ParallelEvaluator | None" = None) -> TuneOutcome:
         if budget <= 0:
             raise ValueError("budget must be positive")
         history: List[Tuple[dict, PerformanceSample | None]] = []
@@ -82,12 +87,18 @@ class ITuned(BaseTuner):
         xs: List[np.ndarray] = []
         ys: List[float] = []
 
-        # Phase 1: space-filling initialization.
+        # Phase 1: space-filling initialization.  The whole design is
+        # fixed before any result arrives, so it evaluates as one batch
+        # (phase 2 refits the GP after every experiment and stays serial).
         n_init = min(self.init_samples, budget)
-        for row in self._lhs(n_init, dim):
+        rows = self._lhs(n_init, dim)
+        configs = [self.registry.from_vector(row) for row in rows]
+        trials: List[int] = []
+        for _ in configs:
             self._trial += 1
-            config = self.registry.from_vector(row)
-            perf = safe_evaluate(database, config, trial=self._trial)
+            trials.append(self._trial)
+        perfs = batch_evaluate(database, configs, trials, evaluator=evaluator)
+        for row, config, perf in zip(rows, configs, perfs):
             history.append((config, perf))
             xs.append(row)
             ys.append(-1.0 if perf is None

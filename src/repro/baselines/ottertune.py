@@ -21,7 +21,10 @@ the GP's effective length scale collapses and recommendations degrade.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.parallel import ParallelEvaluator
 
 import numpy as np
 
@@ -108,20 +111,34 @@ class OtterTune(BaseTuner):
     # -- repository building -------------------------------------------------
     def collect_training_data(self, database: SimulatedDatabase,
                               n_samples: int,
-                              workload_label: str | None = None) -> None:
+                              workload_label: str | None = None,
+                              evaluator: "ParallelEvaluator | None" = None,
+                              ) -> None:
         """Populate the repository with random-config observations."""
         label = workload_label or database.workload.name
         baseline = safe_evaluate(database, database.default_config(),
                                  trial=self._next_trial())
         if baseline is None:
             raise RuntimeError("default configuration crashed the database")
-        for _ in range(n_samples):
-            config = self.registry.random_config(self.rng)
-            vector = self.registry.to_vector(config)
-            try:
-                obs = database.evaluate(config, trial=self._next_trial())
-            except Exception:
+        # The samples are random draws, independent of one another: draw
+        # the whole plan first, then evaluate (as one batch if possible).
+        configs = [self.registry.random_config(self.rng)
+                   for _ in range(n_samples)]
+        trials = [self._next_trial() for _ in configs]
+        if evaluator is not None:
+            observations = evaluator.evaluate_batch(configs, trials=trials)
+        else:
+            observations = []
+            for config, trial in zip(configs, trials):
+                try:
+                    observations.append(
+                        database.evaluate(config, trial=trial))
+                except Exception:
+                    observations.append(None)
+        for config, obs in zip(configs, observations):
+            if obs is None:
                 continue  # crashed samples carry no metrics
+            vector = self.registry.to_vector(config)
             score = performance_score(obs.performance, baseline)
             self.repository.add(label, vector, obs.metrics, score)
 

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
 
-from .base import BaseTuner, TuneOutcome, safe_evaluate
+from .base import BaseTuner, TuneOutcome, batch_evaluate, safe_evaluate
 from ..dbsim.engine import SimulatedDatabase
 from ..dbsim.knobs import KnobRegistry
 from ..rl.reward import PerformanceSample
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.parallel import ParallelEvaluator
 
 __all__ = ["RandomSearch"]
 
@@ -24,7 +27,8 @@ class RandomSearch(BaseTuner):
         self.rng = np.random.default_rng(seed)
         self._trial = 0
 
-    def tune(self, database: SimulatedDatabase, budget: int = 20) -> TuneOutcome:
+    def tune(self, database: SimulatedDatabase, budget: int = 20,
+             evaluator: "ParallelEvaluator | None" = None) -> TuneOutcome:
         if budget <= 0:
             raise ValueError("budget must be positive")
         history: List[Tuple[dict, PerformanceSample | None]] = []
@@ -33,9 +37,14 @@ class RandomSearch(BaseTuner):
                                 trial=self._trial)
         if initial is None:
             raise RuntimeError("default configuration crashed the database")
+        # All draws are independent of the outcomes, so the whole budget
+        # can be generated up front and evaluated as one batch.
+        configs: List[dict] = []
+        trials: List[int] = []
         for _ in range(budget):
             self._trial += 1
-            config = self.registry.random_config(self.rng)
-            history.append((config, safe_evaluate(database, config,
-                                                  trial=self._trial)))
+            configs.append(self.registry.random_config(self.rng))
+            trials.append(self._trial)
+        history.extend(zip(configs, batch_evaluate(database, configs, trials,
+                                                   evaluator=evaluator)))
         return self._outcome(database, history, initial)

@@ -10,6 +10,7 @@ from .collector import CollectedSample, MetricsCollector
 from .generator import WorkloadCapture, WorkloadGenerator
 from .memory_pool import MemoryPool
 from .recommender import Recommendation, Recommender
+from .parallel import EvalStats, ParallelEvaluator
 from .pipeline import (
     CONVERGENCE_THRESHOLD,
     CONVERGENCE_WINDOW,
@@ -31,6 +32,8 @@ __all__ = [
     "MemoryPool",
     "Recommendation",
     "Recommender",
+    "EvalStats",
+    "ParallelEvaluator",
     "CONVERGENCE_THRESHOLD",
     "CONVERGENCE_WINDOW",
     "TrainingResult",

@@ -62,6 +62,7 @@ class TuningEnvironment:
         self.steps = 0
         self.crashes = 0
         self.history: List[StepResult] = []
+        self._current_config: Dict[str, float] | None = None
 
     @property
     def state_dim(self) -> int:
@@ -70,6 +71,41 @@ class TuningEnvironment:
     @property
     def action_dim(self) -> int:
         return self.action_registry.n_tunable
+
+    # -- state snapshot ----------------------------------------------------
+    def save_state(self) -> Dict[str, object]:
+        """Snapshot everything an episode mutates.
+
+        Lets a measurement that must not perturb the run — the noise-free
+        greedy probes of ``offline_train`` — execute ``reset``/``step`` and
+        then put the environment (and its reward function's T₀/L₀ and
+        trend baselines) back exactly as they were.
+        """
+        return {
+            "trial": self._trial,
+            "steps": self.steps,
+            "crashes": self.crashes,
+            "initial_performance": self.initial_performance,
+            "best_performance": self.best_performance,
+            "best_config": (dict(self.best_config)
+                            if self.best_config is not None else None),
+            "history": list(self.history),
+            "current_config": (dict(self._current_config)
+                               if self._current_config is not None else None),
+            "reward_state": self.reward_function.state_dict(),
+        }
+
+    def restore_state(self, saved: Dict[str, object]) -> None:
+        """Undo every mutation since the matching :meth:`save_state`."""
+        self._trial = saved["trial"]
+        self.steps = saved["steps"]
+        self.crashes = saved["crashes"]
+        self.initial_performance = saved["initial_performance"]
+        self.best_performance = saved["best_performance"]
+        self.best_config = saved["best_config"]
+        self.history = list(saved["history"])
+        self._current_config = saved["current_config"]
+        self.reward_function.load_state_dict(saved["reward_state"])
 
     # -- episode control ---------------------------------------------------
     def reset(self, initial_config: Dict[str, float] | None = None) -> np.ndarray:
@@ -114,11 +150,22 @@ class TuningEnvironment:
         if observation is None:
             reward = self.reward_function(None)
             # The controller restarts the instance with defaults; the next
-            # state the agent sees is the restarted instance's state.
-            restart = self.database.evaluate(self.database.default_config(),
+            # state the agent sees is the restarted instance's state.  The
+            # restart is a fresh stress test, so it gets its own trial
+            # number (reusing the crashed attempt's trial would replay its
+            # noise stream), and the running configuration — and the reward
+            # function's trend baseline — now belong to the defaults, not
+            # to the crashed config.
+            self._trial += 1
+            restart_config = self.database.default_config()
+            restart = self.database.evaluate(restart_config,
                                              trial=self._trial)
+            self.reward_function.observe_restart(restart.performance)
             result = StepResult(state=restart.metrics, reward=reward,
                                 performance=None, crashed=True, config=config)
+            self.history.append(result)
+            self._current_config = restart_config
+            return result
         else:
             reward = self.reward_function(observation.performance)
             if self._is_better(observation.performance):

@@ -1,0 +1,337 @@
+"""Parallel + cached evaluation of knob configurations.
+
+Every experiment in the reproduction — offline training, the Figure 6–8
+knob sweeps, the Table 3 baseline comparison — bottlenecks on serial calls
+to :meth:`~repro.dbsim.engine.SimulatedDatabase.evaluate`.  This module
+fans a *batch* of configurations out across a ``ProcessPoolExecutor``
+whose workers each hold an identically-seeded replica of the database, and
+funnels every result through the database's LRU evaluation cache so
+repeated probes of the same (config, trial) pair are free.
+
+Determinism is structural: ``evaluate`` is a pure function of
+(seed, config, trial) — measurement jitter is hash-seeded per key — so a
+worker replica computes bit-for-bit the value the master would have.  The
+``serial_fallback`` path (also taken when ``workers <= 1`` or the pool
+cannot start) therefore returns exactly the same observations, and both
+paths leave the master database's ``evaluations``/``stress_tests``/
+``cache_hits`` counters in the same state.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..dbsim.engine import DatabaseObservation, SimulatedDatabase
+from ..dbsim.errors import DatabaseCrashError
+
+__all__ = ["EvalStats", "ParallelEvaluator"]
+
+# Worker-process state: one database replica per worker, installed once by
+# the pool initializer and reused for every job the worker receives.
+_WORKER_DB: SimulatedDatabase | None = None
+
+
+def _init_worker(database: SimulatedDatabase) -> None:
+    global _WORKER_DB
+    _WORKER_DB = database
+
+
+def _worker_noop(_: int) -> None:
+    """Used by :meth:`ParallelEvaluator.warm_up` to force worker spawn."""
+    return None
+
+
+def _worker_evaluate(job: Tuple[object, int, bool]):
+    """Evaluate one (payload, trial, packed) job on the worker's replica."""
+    payload, trial, packed = job
+    assert _WORKER_DB is not None, "worker pool not initialized"
+    config = (_WORKER_DB.registry.unpack_values(payload) if packed
+              else payload)
+    try:
+        return ("ok", _WORKER_DB.evaluate(config, trial=trial))
+    except DatabaseCrashError as error:
+        return ("crash", str(error))
+
+
+@dataclass
+class EvalStats:
+    """Lifetime accounting for one :class:`ParallelEvaluator`."""
+
+    batches: int = 0
+    requests: int = 0           # (config, trial) jobs submitted
+    cache_hits: int = 0         # answered from the master cache
+    dispatched: int = 0         # actually simulated (pool or serial)
+    crashes: int = 0
+    wall_s: float = 0.0
+    phase_wall_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "batches": self.batches, "requests": self.requests,
+            "cache_hits": self.cache_hits, "dispatched": self.dispatched,
+            "crashes": self.crashes, "wall_s": self.wall_s,
+            "hit_rate": self.hit_rate,
+            "phase_wall_s": dict(self.phase_wall_s),
+        }
+
+
+class ParallelEvaluator:
+    """Evaluate batches of knob configurations across worker processes.
+
+    Parameters
+    ----------
+    database:
+        The master database.  Results land in *its* evaluation cache, and
+        its ``evaluations``/``stress_tests``/``cache_hits`` counters are
+        kept consistent with what a serial run would have produced.
+    workers:
+        Process count.  ``workers <= 1`` (or ``serial_fallback=True``)
+        evaluates in-process; the results are bitwise-identical either
+        way, only wall-clock changes.
+    serial_fallback:
+        Force the in-process path even for ``workers > 1`` — useful for
+        determinism tests and environments without working ``fork``.
+    chunksize:
+        Jobs per pool task (amortizes IPC); defaults to a heuristic.
+    """
+
+    def __init__(self, database: SimulatedDatabase, workers: int | None = None,
+                 serial_fallback: bool = False,
+                 chunksize: int | None = None) -> None:
+        if workers is not None and workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.database = database
+        self.workers = int(workers) if workers is not None else 2
+        self.serial_fallback = bool(serial_fallback)
+        self.chunksize = chunksize
+        self.stats = EvalStats()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_broken = False
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def pool_size(self) -> int:
+        """Worker processes actually spawned.
+
+        CPU-bound workers gain nothing from oversubscribing physical
+        cores — extra processes only add context-switch overhead — so
+        the pool is capped at the machine's core count.
+        """
+        return max(1, min(self.workers, os.cpu_count() or 1))
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if self.serial_fallback or self.workers <= 1 or self._pool_broken:
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.pool_size, initializer=_init_worker,
+                    initargs=(self.database.replica(),))
+            except (OSError, ValueError):
+                # No usable multiprocessing (restricted sandbox, missing
+                # /dev/shm, ...): permanently fall back to serial.
+                self._pool_broken = True
+                self._pool = None
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Spawn the worker processes up front (no-op on serial paths).
+
+        ``ProcessPoolExecutor`` forks workers lazily on first submit;
+        calling this moves that one-time cost out of the first
+        :meth:`evaluate_batch`, e.g. before timing steady-state
+        throughput.
+        """
+        pool = self._ensure_pool()
+        if pool is not None:
+            try:
+                list(pool.map(_worker_noop, range(self.pool_size)))
+            except (OSError, MemoryError, RuntimeError):
+                self._pool_broken = True
+                self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- evaluation --------------------------------------------------------
+    def _encode_job(self, config: Mapping[str, float],
+                    trial: int) -> Tuple[object, int, bool]:
+        """Compact pool-job payload (see :meth:`KnobRegistry.pack_values`)."""
+        values = self.database.registry.pack_values(config)
+        if values is not None:
+            return (values, trial, True)
+        return (dict(config), trial, False)
+
+    def evaluate_batch(self, configs: Sequence[Mapping[str, float]],
+                       trials: Iterable[int] | None = None,
+                       start_trial: int = 1,
+                       phase: str | None = None,
+                       ) -> List[DatabaseObservation | None]:
+        """Evaluate ``configs`` in order; ``None`` marks a crashed config.
+
+        ``trials`` supplies each configuration's trial number (defaults to
+        ``start_trial, start_trial+1, ...``).  Cached keys are answered
+        from the master cache; the misses run on the pool (or serially)
+        and are stored back, so a subsequent serial ``evaluate`` of any of
+        these keys is free.
+        """
+        db = self.database
+        trial_list = (list(trials) if trials is not None
+                      else list(range(start_trial, start_trial + len(configs))))
+        if len(trial_list) != len(configs):
+            raise ValueError("trials must match configs in length")
+        tick = time.perf_counter()
+        jobs = [(db.registry.validate(dict(config)), int(trial))
+                for config, trial in zip(configs, trial_list)]
+        results: List[DatabaseObservation | None] = [None] * len(jobs)
+        canonical = db.registry.canonical_items
+        keys = [(trial, canonical(config)) for config, trial in jobs]
+        pending: List[int] = []
+        first_seen: Dict[Tuple[int, Tuple], int] = {}
+        dup_of: Dict[int, int] = {}
+        for i, key in enumerate(keys):
+            cached = db.cache_peek(key) if db.cache_size > 0 else None
+            if cached is not None:
+                db.evaluations += 1
+                db.cache_hits += 1
+                self.stats.cache_hits += 1
+                results[i] = None if isinstance(cached, str) else cached
+            elif db.cache_size > 0 and key in first_seen:
+                # Duplicate within the batch: a serial run would have hit
+                # the cache here, so dispatch only the first occurrence.
+                dup_of[i] = first_seen[key]
+            else:
+                first_seen[key] = i
+                pending.append(i)
+
+        pool = self._ensure_pool() if pending else None
+        if pool is not None:
+            chunksize = self.chunksize or max(
+                1, -(-len(pending) // (2 * self.pool_size)))
+            try:
+                outcomes = list(pool.map(
+                    _worker_evaluate,
+                    [self._encode_job(*jobs[i]) for i in pending],
+                    chunksize=chunksize))
+            except (OSError, MemoryError, RuntimeError):
+                self._pool_broken = True
+                self.close()
+                outcomes = None
+            if outcomes is not None:
+                for i, (status, payload) in zip(pending, outcomes):
+                    db.evaluations += 1
+                    db.stress_tests += 1
+                    self.stats.dispatched += 1
+                    if status == "crash":
+                        db.cache_put(keys[i], payload)
+                        results[i] = None
+                        self.stats.crashes += 1
+                    else:
+                        db.cache_put(keys[i], payload)
+                        results[i] = payload
+                pending = []
+
+        for i in pending:  # serial path (fallback or workers <= 1)
+            config, trial = jobs[i]
+            self.stats.dispatched += 1
+            try:
+                results[i] = db.evaluate(config, trial=trial)
+            except DatabaseCrashError:
+                results[i] = None
+                self.stats.crashes += 1
+
+        for i, j in dup_of.items():  # duplicates resolve as cache hits
+            db.evaluations += 1
+            db.cache_hits += 1
+            self.stats.cache_hits += 1
+            results[i] = results[j]
+
+        elapsed = time.perf_counter() - tick
+        self.stats.batches += 1
+        self.stats.requests += len(jobs)
+        self.stats.wall_s += elapsed
+        if phase is not None:
+            self.stats.phase_wall_s[phase] = (
+                self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+        return results
+
+    def prefetch(self, jobs: Sequence[Tuple[Mapping[str, float], int]],
+                 phase: str = "prefetch") -> int:
+        """Warm the master cache with ``(config, trial)`` pairs.
+
+        Unlike :meth:`evaluate_batch` this does not model a serial run
+        that was replaced: the real evaluations still happen later (as
+        cache hits), so only ``stress_tests`` advances here — the
+        ``evaluations`` request counter is left for the consumer.
+
+        Returns the number of stress tests actually executed.
+        """
+        db = self.database
+        if db.cache_size <= 0 or not jobs:
+            return 0
+        tick = time.perf_counter()
+        validated = [(db.registry.validate(dict(config)), int(trial))
+                     for config, trial in jobs]
+        todo = []
+        seen = set()
+        for config, trial in validated:
+            key = (trial, db.registry.canonical_items(config))
+            if key in seen or db.cache_peek(key) is not None:
+                continue
+            seen.add(key)
+            todo.append((config, trial))
+        ran = 0
+        pool = self._ensure_pool() if todo else None
+        if pool is not None:
+            chunksize = self.chunksize or max(
+                1, -(-len(todo) // (2 * self.pool_size)))
+            try:
+                outcomes = list(pool.map(
+                    _worker_evaluate,
+                    [self._encode_job(config, trial)
+                     for config, trial in todo],
+                    chunksize=chunksize))
+            except (OSError, MemoryError, RuntimeError):
+                self._pool_broken = True
+                self.close()
+                outcomes = None
+            if outcomes is not None:
+                for (config, trial), (status, payload) in zip(todo, outcomes):
+                    key = (trial, db.registry.canonical_items(config))
+                    db.cache_put(key, payload)
+                    db.stress_tests += 1
+                    if status == "crash":
+                        self.stats.crashes += 1
+                ran = len(todo)
+                todo = []
+        for config, trial in todo:  # serial fallback: evaluate() caches
+            try:
+                db.evaluate(config, trial=trial)
+            except DatabaseCrashError:
+                self.stats.crashes += 1
+            # evaluate() bumped the request counter for what is really a
+            # background warm-up, not a consumer request; undo that.
+            db.evaluations -= 1
+            ran += 1
+        elapsed = time.perf_counter() - tick
+        self.stats.dispatched += ran
+        self.stats.wall_s += elapsed
+        self.stats.phase_wall_s[phase] = (
+            self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+        return ran

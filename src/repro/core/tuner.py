@@ -15,6 +15,7 @@ from typing import Dict, Mapping
 import numpy as np
 
 from .environment import TuningEnvironment
+from .parallel import ParallelEvaluator
 from .pipeline import TrainingResult, TuningResult, offline_train, online_tune
 from .recommender import Recommender
 from ..dbsim.engine import SimulatedDatabase
@@ -121,10 +122,25 @@ class CDBTune:
     # -- offline training ----------------------------------------------------------
     def offline_train(self, hardware: HardwareSpec,
                       workload: WorkloadSpec | str,
+                      workers: int | None = None,
                       **train_kwargs) -> TrainingResult:
-        """Cold-start training on a standard workload (§2.1.1)."""
+        """Cold-start training on a standard workload (§2.1.1).
+
+        ``workers`` > 1 prefetches the latin-hypercube warmup phase through
+        a :class:`~repro.core.parallel.ParallelEvaluator`; the trajectory
+        is identical either way (the simulator is deterministic per
+        (seed, config, trial)), only wall-clock changes.
+        """
         env = self.make_environment(hardware, workload)
-        result = offline_train(env, self.agent, **train_kwargs)
+        evaluator = None
+        if workers is not None and workers > 1:
+            evaluator = ParallelEvaluator(env.database, workers=workers)
+        try:
+            result = offline_train(env, self.agent, evaluator=evaluator,
+                                   **train_kwargs)
+        finally:
+            if evaluator is not None:
+                evaluator.close()
         self.trained = True
         return result
 

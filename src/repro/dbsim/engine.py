@@ -22,6 +22,7 @@ saturate as random knob subsets grow.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
@@ -91,14 +92,22 @@ class SimulatedDatabase:
         Relative std-dev of measurement jitter (0 disables).
     seed:
         Seeds the per-config jitter stream.
+    cache_size:
+        Capacity of the LRU evaluation cache keyed by (quantized config,
+        trial).  Because results are deterministic per key, a repeated
+        probe of the same configuration is a free cache hit rather than
+        another stress test.  0 disables caching.
     """
 
     def __init__(self, hardware: HardwareSpec, workload: WorkloadSpec,
                  registry: KnobRegistry | None = None,
                  adapter: Mapping[str, str] | None = None,
-                 noise: float = 0.015, seed: int = 0) -> None:
+                 noise: float = 0.015, seed: int = 0,
+                 cache_size: int = 2048) -> None:
         if noise < 0:
             raise ValueError("noise must be non-negative")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
         self.hardware = hardware
         self.workload = workload
         self.registry = registry if registry is not None else mysql_registry()
@@ -114,7 +123,12 @@ class SimulatedDatabase:
                 raise KeyError(f"adapter targets unknown canonical knobs: "
                                f"{sorted(unknown)}")
             self._modeled = set(self.adapter)
-        self.evaluations = 0  # stress tests run (the paper's sample count)
+        self.evaluations = 0  # evaluate() requests (the paper's sample count)
+        self.stress_tests = 0  # simulations actually run (cache misses)
+        self.cache_hits = 0
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[tuple, DatabaseObservation | str]" = (
+            OrderedDict())
         self._minor_cache: tuple | None = None
 
     # -- public API ------------------------------------------------------------
@@ -122,15 +136,84 @@ class SimulatedDatabase:
         """Vendor defaults — the paper's 'MySQL default' baseline."""
         return self.registry.defaults()
 
+    def replica(self) -> "SimulatedDatabase":
+        """A fresh instance with identical construction parameters.
+
+        Worker processes of a :class:`~repro.core.parallel.ParallelEvaluator`
+        each hold one replica; identical seeding makes every replica's
+        ``evaluate`` bitwise-identical to the master's.
+        """
+        return SimulatedDatabase(self.hardware, self.workload,
+                                 registry=self.registry, adapter=self.adapter,
+                                 noise=self.noise, seed=self.seed,
+                                 cache_size=self.cache_size)
+
+    # -- evaluation cache ------------------------------------------------------
+    def cache_key(self, config: Mapping[str, float], trial: int) -> tuple:
+        """Cache key for one stress test: (trial, quantized config items)."""
+        validated = self.registry.validate(dict(config))
+        return (int(trial), self.registry.canonical_items(validated))
+
+    def cache_peek(self, key: tuple):
+        """Cached result for ``key`` (observation or crash message), or None.
+
+        Does not touch the hit/miss counters; ``evaluate`` and the parallel
+        evaluator account for those themselves.
+        """
+        entry = self._cache.get(key)
+        if entry is not None:
+            self._cache.move_to_end(key)
+        return entry
+
+    def cache_put(self, key: tuple,
+                  result: "DatabaseObservation | str") -> None:
+        """Store an observation (or a crash message string) under ``key``."""
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        return {"size": len(self._cache), "capacity": self.cache_size,
+                "hits": self.cache_hits, "misses": self.stress_tests}
+
     def evaluate(self, config: Mapping[str, float],
                  trial: int = 0) -> DatabaseObservation:
         """Run one simulated stress test under ``config``.
 
         Raises :class:`DatabaseCrashError` in the oversized-redo-log crash
         region.  ``trial`` varies the measurement jitter for repeated runs
-        of the same configuration.
+        of the same configuration; repeating an identical (config, trial)
+        pair is answered from the LRU cache without a new stress test.
         """
         config = self.registry.validate(dict(config))
+        if self.cache_size > 0:
+            key = (int(trial), self.registry.canonical_items(config))
+            cached = self.cache_peek(key)
+            if cached is not None:
+                self.evaluations += 1
+                self.cache_hits += 1
+                if isinstance(cached, str):  # memoized crash
+                    raise DatabaseCrashError(cached)
+                return cached
+        try:
+            observation = self._evaluate_uncached(config, trial)
+        except DatabaseCrashError as error:
+            if self.cache_size > 0:
+                self.cache_put(key, str(error))
+            raise
+        if self.cache_size > 0:
+            self.cache_put(key, observation)
+        return observation
+
+    def _evaluate_uncached(self, config: Dict[str, float],
+                           trial: int) -> DatabaseObservation:
+        """The actual stress test; ``config`` is already validated."""
         full_db = self.registry.defaults()
         full_db.update(config)
         if self.adapter is None:
@@ -140,6 +223,7 @@ class SimulatedDatabase:
             for name, canonical in self.adapter.items():
                 full[canonical] = full_db[name]
         self.evaluations += 1
+        self.stress_tests += 1
 
         log_cfg = LogConfig(
             log_file_bytes=full["innodb_log_file_size"],

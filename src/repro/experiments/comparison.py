@@ -9,6 +9,7 @@ the paper's pre-trained standard model.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
@@ -16,6 +17,7 @@ from .common import BENCH, Scale, cdb_default_config, format_table
 from ..baselines.bestconfig import BestConfig
 from ..baselines.dba import DBATuner
 from ..baselines.ottertune import OtterTune
+from ..core.parallel import ParallelEvaluator
 from ..core.tuner import CDBTune
 from ..dbsim.engine import SimulatedDatabase
 from ..dbsim.hardware import HardwareSpec
@@ -37,6 +39,8 @@ class ComparisonResult:
     workload: str
     hardware: str
     performance: Dict[str, PerformanceSample] = field(default_factory=dict)
+    # Per-system cost accounting: {"wall_s", "evaluations", "cache_hits"}.
+    timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def throughput(self, system: str) -> float:
         return self.performance[system].throughput
@@ -67,49 +71,89 @@ def run_comparison(hardware: HardwareSpec, workload: WorkloadSpec | str,
                    scale: Scale = BENCH, seed: int = 0,
                    registry: KnobRegistry | None = None,
                    adapter: Mapping[str, str] | None = None,
-                   cdbtune: CDBTune | None = None) -> ComparisonResult:
-    """Run all six systems; pass a pre-trained ``cdbtune`` to reuse a model."""
+                   cdbtune: CDBTune | None = None,
+                   workers: int | None = None) -> ComparisonResult:
+    """Run all six systems; pass a pre-trained ``cdbtune`` to reuse a model.
+
+    ``workers`` > 1 routes the batchable phases (BestConfig's DDS rounds,
+    OtterTune's sample collection, CDBTune's warmup) through a
+    :class:`~repro.core.parallel.ParallelEvaluator`; results are identical
+    either way, and ``result.timings`` records what each system cost.
+    """
     if isinstance(workload, str):
         workload = get_workload(workload)
     registry = registry if registry is not None else mysql_registry()
     database = SimulatedDatabase(hardware, workload, registry=registry,
                                  adapter=adapter, seed=seed)
+    evaluator = (ParallelEvaluator(database, workers=workers)
+                 if workers is not None and workers > 1 else None)
     result = ComparisonResult(workload=workload.name, hardware=hardware.name)
 
-    # Reference configurations.
-    result.performance["MySQL-default"] = database.evaluate(
-        database.default_config(), trial=1).performance
-    result.performance["CDB-default"] = database.evaluate(
-        cdb_default_config(registry, hardware), trial=2).performance
+    def _timed(system: str, run):
+        tick = time.perf_counter()
+        evals, hits = database.evaluations, database.cache_hits
+        performance = run()
+        result.timings[system] = {
+            "wall_s": time.perf_counter() - tick,
+            "evaluations": float(database.evaluations - evals),
+            "cache_hits": float(database.cache_hits - hits),
+        }
+        result.performance[system] = performance
 
-    # Search- and rule-based baselines.
-    result.performance["BestConfig"] = BestConfig(
-        registry, seed=seed).tune(
-            database, budget=scale.bestconfig_budget).best_performance
-    result.performance["DBA"] = DBATuner(
-        registry, adapter=adapter).tune(database, budget=6).best_performance
+    try:
+        # Reference configurations.
+        _timed("MySQL-default", lambda: database.evaluate(
+            database.default_config(), trial=1).performance)
+        _timed("CDB-default", lambda: database.evaluate(
+            cdb_default_config(registry, hardware), trial=2).performance)
 
-    # OtterTune: repository of random samples plus DBA experience (§5),
-    # mixed at roughly 20:1.
-    ottertune = OtterTune(registry, seed=seed)
-    ottertune.collect_training_data(database, scale.ottertune_samples)
-    dba_config = DBATuner(registry, adapter=adapter).recommend(
-        hardware, workload)
-    ottertune.seed_dba_experience(
-        database, dba_config, max(scale.ottertune_samples // 20, 1))
-    result.performance["OtterTune"] = ottertune.tune(
-        database, budget=scale.ottertune_budget).best_performance
+        # Search- and rule-based baselines.
+        _timed("BestConfig", lambda: BestConfig(
+            registry, seed=seed).tune(
+                database, budget=scale.bestconfig_budget,
+                evaluator=evaluator).best_performance)
+        _timed("DBA", lambda: DBATuner(
+            registry, adapter=adapter).tune(
+                database, budget=6).best_performance)
 
-    # CDBTune: offline-train once (unless a pre-trained model is supplied),
-    # then serve the request in the paper's 5 online steps.
-    if cdbtune is None:
-        cdbtune = CDBTune(registry=registry, adapter=adapter, seed=seed)
-        cdbtune.offline_train(hardware, workload,
-                              max_steps=scale.train_steps,
-                              probe_every=scale.probe_every,
-                              stop_on_convergence=False)
-    result.performance["CDBTune"] = cdbtune.tune(
-        hardware, workload, steps=scale.tune_steps).best
+        # OtterTune: repository of random samples plus DBA experience (§5),
+        # mixed at roughly 20:1.
+        def _run_ottertune():
+            ottertune = OtterTune(registry, seed=seed)
+            ottertune.collect_training_data(database, scale.ottertune_samples,
+                                            evaluator=evaluator)
+            dba_config = DBATuner(registry, adapter=adapter).recommend(
+                hardware, workload)
+            ottertune.seed_dba_experience(
+                database, dba_config, max(scale.ottertune_samples // 20, 1))
+            return ottertune.tune(
+                database, budget=scale.ottertune_budget).best_performance
+        _timed("OtterTune", _run_ottertune)
+
+        # CDBTune: offline-train once (unless a pre-trained model is
+        # supplied), then serve the request in the paper's 5 online steps.
+        # It runs against its own databases, so its evaluation counts come
+        # from the TrainingResult rather than the shared instance above.
+        training_cost: Dict[str, float] = {}
+
+        def _run_cdbtune():
+            tuner = cdbtune
+            if tuner is None:
+                tuner = CDBTune(registry=registry, adapter=adapter, seed=seed)
+                training = tuner.offline_train(hardware, workload,
+                                               max_steps=scale.train_steps,
+                                               probe_every=scale.probe_every,
+                                               stop_on_convergence=False,
+                                               workers=workers)
+                training_cost["evaluations"] = float(training.evaluations)
+                training_cost["cache_hits"] = float(training.cache_hits)
+            return tuner.tune(
+                hardware, workload, steps=scale.tune_steps).best
+        _timed("CDBTune", _run_cdbtune)
+        result.timings["CDBTune"].update(training_cost)
+    finally:
+        if evaluator is not None:
+            evaluator.close()
     return result
 
 

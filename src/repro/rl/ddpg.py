@@ -151,6 +151,9 @@ class DDPGAgent:
         # the memory pool's "DBA brain" distilled to one recommendation
         # that online tuning includes among its trials.
         self.best_known_action: np.ndarray | None = None
+        # Losses of the most recent imitate() call: the optimized
+        # logit-space MSE and the diagnostic output-space MSE.
+        self.last_imitate_losses: Dict[str, float] = {}
         # Raw 63-metric states span many orders of magnitude; transitions are
         # stored raw and normalized at act/update time so old replay samples
         # track the evolving statistics.
@@ -283,7 +286,12 @@ class DDPGAgent:
         Behaviour-cloning regularization (cf. DDPG+BC): regressing µ(s)
         toward the best configuration found so far anchors the policy in
         the good region that exploration discovered, while the policy
-        gradient keeps refining around it.  Returns the imitation loss.
+        gradient keeps refining around it.
+
+        Returns the *optimized* objective — the logit-space MSE the
+        gradient actually descends — so callers' convergence checks test
+        the quantity being minimized.  The output-space MSE is additionally
+        reported in :attr:`last_imitate_losses` for diagnostics.
         """
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
         target = np.asarray(target_action, dtype=np.float64).reshape(1, -1)
@@ -300,7 +308,11 @@ class DDPGAgent:
         z = np.log(out_c / (1.0 - out_c))
         z_target = np.log(tgt_c / (1.0 - tgt_c))
         diff = z - z_target
-        loss = float(np.mean((output - tgt_c) ** 2))
+        loss = float(np.mean(diff ** 2))
+        self.last_imitate_losses = {
+            "logit_mse": loss,
+            "output_mse": float(np.mean((output - tgt_c) ** 2)),
+        }
         grad = 2.0 * diff / diff.size / np.maximum(out_c * (1.0 - out_c), eps)
         self.actor_optimizer.zero_grad()
         self.actor.backward(grad)

@@ -102,13 +102,25 @@ class SumTree:
 
     Supports O(log n) priority updates and proportional sampling by prefix
     sum, the standard backing structure for prioritized replay.
+
+    Leaves are allocated at the next power of two ≥ ``capacity`` so every
+    leaf sits at the same depth and the in-order leaf sequence equals the
+    index order.  With leaves packed directly at ``capacity`` (the naive
+    layout), a non-power-of-two capacity puts leaves on two depths and the
+    prefix-sum order interleaves them — prefix ranges then map to a
+    *scrambled* permutation of indices, which breaks the per-segment
+    stratification of prioritized replay (overall proportionality survives,
+    but segment k no longer covers a contiguous priority band).
     """
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
-        self._tree = np.zeros(2 * self.capacity)
+        self._leaf_base = 1
+        while self._leaf_base < self.capacity:
+            self._leaf_base *= 2
+        self._tree = np.zeros(2 * self._leaf_base)
         self.size = 0
 
     @property
@@ -120,14 +132,14 @@ class SumTree:
             raise IndexError(f"index {index} out of range")
         if priority < 0:
             raise ValueError("priority must be non-negative")
-        node = index + self.capacity
+        node = index + self._leaf_base
         delta = priority - self._tree[node]
         while node >= 1:
             self._tree[node] += delta
             node //= 2
 
     def get(self, index: int) -> float:
-        return float(self._tree[index + self.capacity])
+        return float(self._tree[index + self._leaf_base])
 
     def find(self, prefix: float) -> int:
         """Return the leaf index at which the running priority sum passes prefix."""
@@ -135,14 +147,14 @@ class SumTree:
             raise ValueError("cannot sample from an empty tree")
         prefix = min(max(prefix, 0.0), np.nextafter(self.total, 0.0))
         node = 1
-        while node < self.capacity:
+        while node < self._leaf_base:
             left = 2 * node
             if prefix < self._tree[left]:
                 node = left
             else:
                 prefix -= self._tree[left]
                 node = left + 1
-        return node - self.capacity
+        return node - self._leaf_base
 
 
 class PrioritizedReplayMemory:

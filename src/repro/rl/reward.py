@@ -94,6 +94,27 @@ class RewardFunction:
         self._initial = initial
         self._previous = initial
 
+    def observe_restart(self, restarted: PerformanceSample) -> None:
+        """Re-anchor the trend baseline after a crash-restart.
+
+        The controller restarts a crashed instance with the default
+        configuration, so the next step's Δ_{t→t−1} must compare against
+        the restarted instance's measured performance — not the pre-crash
+        sample of a configuration that is no longer running.  The initial
+        (T₀/L₀) baseline is untouched: the tuning goal does not move.
+        """
+        if self._initial is None:
+            raise RuntimeError("reward function used before reset()")
+        self._previous = restarted
+
+    # -- snapshot/restore (noise-free greedy probes run on saved state) ------
+    def state_dict(self) -> dict:
+        return {"initial": self._initial, "previous": self._previous}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._initial = state["initial"]
+        self._previous = state["previous"]
+
     @property
     def initial(self) -> PerformanceSample | None:
         return self._initial
