@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Tuning-service demo: multi-tenant sessions, warm starts, safety guard.
+
+Walks the service through the paper's deployment story (§2.2, Figure 2):
+
+1. two tenants submit tuning requests *concurrently*; the service trains,
+   recommends, canary-checks and deploys each one;
+2. a repeat tenant with a matching workload signature is warm-started
+   from the model registry with half the training budget — §5.3's
+   fine-tuning, automated;
+3. a hand-built configuration whose redo-log group exceeds the disk
+   (``innodb_log_file_size × files_in_group``) is canary-rejected by the
+   safety guard, and a rollback restores the tenant's prior config;
+4. the audit trail for one session is printed.
+
+Run:  python examples/tuning_service.py            # full demo
+      python examples/tuning_service.py --smoke    # small budgets (CI)
+"""
+
+import argparse
+import sys
+import tempfile
+
+from repro.dbsim.hardware import CDB_A, CDB_C
+from repro.service import (
+    ModelRegistry,
+    SafetyGuard,
+    TuningRequest,
+    TuningService,
+)
+
+GIB = 1024 ** 3
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small training budgets for CI")
+    args = parser.parse_args(argv)
+    train_steps = 40 if args.smoke else 200
+    train_kwargs = {"probe_every": 15 if args.smoke else 50,
+                    "stop_on_convergence": False}
+
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="repro-registry-"))
+    guard = SafetyGuard()
+    service = TuningService(registry=registry, guard=guard, workers=2)
+
+    def request(hardware, workload, seed):
+        return TuningRequest(hardware=hardware, workload=workload,
+                             train_steps=train_steps, tune_steps=5,
+                             seed=seed, noise=0.0,
+                             train_kwargs=dict(train_kwargs))
+
+    print("=== 1. two concurrent tenant sessions ===")
+    with service:
+        first = service.submit(request(CDB_A, "sysbench-rw", seed=7))
+        second = service.submit(request(CDB_C, "tpcc", seed=8))
+        for sid in (first, second):
+            session = service.wait(sid, timeout=600)
+            status = session.status()
+            print(f"{status['id']} {status['tenant']:<20} "
+                  f"→ {status['state']}: "
+                  f"{status['best_throughput']:.0f} txn/s "
+                  f"({status['throughput_improvement'] * 100:+.0f}% vs "
+                  f"defaults), canary {status['canary']['reason']}")
+
+        print("\n=== 2. warm start from the model registry ===")
+        repeat = service.submit(request(CDB_A, "sysbench-rw", seed=7))
+        session = service.wait(repeat, timeout=600)
+        status = session.status()
+        print(f"{status['id']} warm-started from "
+              f"{status['warm_started_from']} "
+              f"(distance {status['warm_start_distance']:.3f}), "
+              f"budget {status['train_budget']} steps "
+              f"(cold: {train_steps}), "
+              f"best {status['best_throughput']:.0f} txn/s")
+
+        print("\n=== 3. safety guard blocks a crashing config ===")
+        tenant = "sysbench-rw@CDB-A"
+        before = guard.deployed_config(tenant)
+        from repro import CDBTune
+        tuner = CDBTune(seed=7, noise=0.0)
+        database = tuner.make_database(CDB_A, "sysbench-rw")
+        # Redo-log group of 16 GiB × 100 files = 1.6 TB on a 100 GB disk:
+        # the §5.2.3 crash region.
+        lethal = dict(database.default_config())
+        lethal["innodb_log_file_size"] = 16 * GIB
+        lethal["innodb_log_files_in_group"] = 100
+        verdict = guard.canary(database, lethal, baseline_config=before)
+        print(f"canary verdict: accepted={verdict.accepted} "
+              f"reason={verdict.reason}")
+        print(f"  {verdict.detail}")
+        assert not verdict.accepted, "lethal config must be rejected"
+        assert guard.deployed_config(tenant) == before, \
+            "blocked config must not reach the rollback stack"
+
+        print("\n=== 4. rollback restores the previous deployment ===")
+        restored = guard.rollback(tenant)
+        print(f"tenant {tenant} rolled back: "
+              f"buffer pool {restored['innodb_buffer_pool_size'] / GIB:.1f} "
+              f"GiB (was {before['innodb_buffer_pool_size'] / GIB:.1f} GiB "
+              f"in the rolled-back deployment)")
+
+        print("\n=== audit trail of the warm-started session ===")
+        for event in service.audit.events(repeat):
+            keys = {k: v for k, v in event.items()
+                    if k not in ("seq", "session")}
+            print(f"  {keys.pop('event'):<20} {keys}")
+
+    print(f"\nregistry now holds {len(registry)} models; "
+          f"{len(service.audit)} audit events recorded")
+    print("tuning service demo OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,7 +19,7 @@ request lifecycle as the paper's deployment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List
 
 from .generator import WorkloadGenerator
 from .pipeline import TrainingResult, TuningResult
@@ -27,6 +27,9 @@ from .recommender import Recommendation
 from .tuner import CDBTune
 from ..dbsim.hardware import HardwareSpec
 from ..dbsim.workload import WorkloadSpec, get_workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..service.server import TuningService, TuningSession
 
 __all__ = ["RequestRecord", "Controller"]
 
@@ -38,12 +41,13 @@ LicenseCallback = Callable[[Recommendation], bool]
 class RequestRecord:
     """One controller request, for the operations log."""
 
-    kind: str                   # "training" | "tuning"
+    kind: str                   # "training" | "tuning" | "service"
     hardware: str
     workload: str
     steps: int
     improved_throughput: float | None = None
     deployed: bool | None = None
+    session_id: str | None = None   # set for service-routed requests
 
 
 @dataclass
@@ -66,14 +70,21 @@ class Controller:
     license_callback:
         Deployment approval hook — the paper deploys only "after acquiring
         the DBA's or user's license".  Defaults to always-approve.
+    service:
+        Optional :class:`~repro.service.server.TuningService`.  When set,
+        :meth:`service_request` routes requests through the multi-tenant
+        service (queue, model-registry warm starts, safety canary) instead
+        of tuning inline on this controller's model.
     """
 
     def __init__(self, tuner: CDBTune,
-                 license_callback: LicenseCallback | None = None) -> None:
+                 license_callback: LicenseCallback | None = None,
+                 service: "TuningService | None" = None) -> None:
         self.tuner = tuner
         self.generator = WorkloadGenerator(noise=tuner.noise,
                                            seed=tuner.seed)
         self.license_callback = license_callback or (lambda _rec: True)
+        self.service = service
         self.log: List[RequestRecord] = []
 
     # -- DBA-side ---------------------------------------------------------------
@@ -118,6 +129,47 @@ class Controller:
             deployed=deployed))
         return TuningOutcome(result=result, recommendation=recommendation,
                              deployed=deployed)
+
+    # -- service-side -------------------------------------------------------------
+    def service_request(self, hardware: HardwareSpec,
+                        workload: WorkloadSpec | str, wait: bool = True,
+                        timeout: float | None = None,
+                        **request_kwargs) -> "TuningSession | str":
+        """Route a tuning request through the attached multi-tenant service.
+
+        The service queues the session, warm-starts it from the model
+        registry when a close pre-trained model exists, and canary-guards
+        the deployment.  With ``wait`` (default) this blocks until the
+        session terminates, applies the controller's license callback —
+        rolling the tenant back if the license is withheld after the
+        service deployed — and logs the outcome; otherwise the session id
+        is returned immediately for later polling.
+        """
+        if self.service is None:
+            raise RuntimeError("controller has no tuning service attached")
+        from ..service.server import TuningRequest  # avoid import cycle
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        request = TuningRequest(hardware=hardware, workload=workload,
+                                **request_kwargs)
+        session_id = self.service.submit(request)
+        if not wait:
+            return session_id
+        session = self.service.wait(session_id, timeout)
+        deployed = session.deployed
+        if (deployed and session.recommendation is not None
+                and not self.license_callback(session.recommendation)):
+            # §2.2.3: no deployment without the user's license — undo the
+            # service's deployment through the guard's rollback stack.
+            self.service.guard.rollback(str(request.tenant))
+            deployed = False
+        self.log.append(RequestRecord(
+            kind="service", hardware=hardware.name, workload=workload.name,
+            steps=request.tune_steps,
+            improved_throughput=(session.tuning.throughput_improvement
+                                 if session.tuning is not None else None),
+            deployed=deployed, session_id=session.id))
+        return session
 
     # -- operations -----------------------------------------------------------------
     def request_counts(self) -> Dict[str, int]:

@@ -162,24 +162,19 @@ class CDBTune:
 
     # -- persistence ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Persist agent weights and normalizer statistics to ``.npz``."""
-        state = self.agent.state_dict()
-        assert self.agent.state_normalizer is not None
-        for key, value in self.agent.state_normalizer.state_dict().items():
-            state[f"normalizer.{key}"] = value
-        nn.save_state(state, path)
+        """Persist the full agent state — weights, normalizer statistics and
+        optimizer moments — to ``.npz`` (written atomically)."""
+        nn.save_state(self.agent.state_dict(), path)
 
     def load(self, path) -> "CDBTune":
         state = nn.load_state(path)
-        normalizer_state = {
-            key[len("normalizer."):]: value
-            for key, value in state.items() if key.startswith("normalizer.")
-        }
-        agent_state = {key: value for key, value in state.items()
-                       if not key.startswith("normalizer.")}
-        self.agent.load_state_dict(agent_state)
-        assert self.agent.state_normalizer is not None
-        self.agent.state_normalizer.load_state_dict(normalizer_state)
+        # Legacy checkpoints stored normalizer statistics under a
+        # tuner-level "normalizer." prefix; the agent now owns them as
+        # "state_normalizer.".  Rename so both vintages load.
+        for key in [k for k in state if k.startswith("normalizer.")]:
+            state["state_normalizer." + key[len("normalizer."):]] = (
+                state.pop(key))
+        self.agent.load_state_dict(state)
         self.trained = True
         return self
 

@@ -41,6 +41,7 @@ from .workload import (
     WORKLOADS,
     WorkloadSpec,
     get_workload,
+    signature_distance,
     sysbench_read_only,
     sysbench_read_write,
     sysbench_write_only,
@@ -90,6 +91,7 @@ __all__ = [
     "cdb_x2",
     "WORKLOADS",
     "WorkloadSpec",
+    "signature_distance",
     "get_workload",
     "sysbench_read_only",
     "sysbench_read_write",

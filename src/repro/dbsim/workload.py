@@ -12,11 +12,13 @@ TPC-H ≈ 16 GB; YCSB ≈ 35 GB at 50 threads).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Dict
 
 __all__ = [
     "WorkloadSpec",
+    "signature_distance",
     "sysbench_read_only",
     "sysbench_write_only",
     "sysbench_read_write",
@@ -78,6 +80,46 @@ class WorkloadSpec:
             data_gb=self.data_gb if data_gb is None else data_gb,
             threads=self.threads if threads is None else threads,
         )
+
+    def signature(self) -> Dict[str, float]:
+        """Resource-demand fingerprint for workload matching (§5.3).
+
+        The features that drive knob→performance behaviour, each scaled to
+        roughly unit range so a plain Euclidean distance is meaningful:
+        the read/write mix, access shape, working set, skew and
+        concurrency.  Used by the model registry to find the closest
+        pre-trained model to warm-start from.
+        """
+        return {
+            "read_frac": self.read_frac,
+            "point_frac": self.point_frac,
+            "insert_frac": self.insert_frac,
+            "working_set_frac": self.working_set_frac,
+            "skew": self.skew,
+            "sort_frac": self.sort_frac,
+            # Sizes and concurrency matter by order of magnitude, not
+            # absolutely: log-scale them into a comparable range.
+            "log2_data_gb": math.log2(self.data_gb) / 10.0,
+            "log2_threads": math.log2(self.threads) / 12.0,
+            "log2_ops_per_txn": math.log2(self.ops_per_txn) / 8.0,
+        }
+
+
+def signature_distance(a: Dict[str, float], b: Dict[str, float]) -> float:
+    """Euclidean distance between two workload signatures.
+
+    Features missing on either side count as maximally different (1.0),
+    so signatures produced by different library versions stay comparable
+    instead of silently looking identical.
+    """
+    keys = set(a) | set(b)
+    total = 0.0
+    for key in keys:
+        if key in a and key in b:
+            total += (float(a[key]) - float(b[key])) ** 2
+        else:
+            total += 1.0
+    return math.sqrt(total)
 
 
 def sysbench_read_only() -> WorkloadSpec:

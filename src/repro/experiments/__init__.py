@@ -53,6 +53,11 @@ from .appendix import (
     run_fig18_local_mysql,
     run_table6,
 )
+from .service_adaptability import (
+    ServiceAdaptabilityResult,
+    ServiceSessionRow,
+    run_service,
+)
 
 #: Registry mapping experiment ids to their drivers (DESIGN.md index).
 EXPERIMENTS = {
@@ -74,6 +79,7 @@ EXPERIMENTS = {
     "fig16": run_fig16_mongodb,
     "fig17": run_fig17_postgres,
     "fig18": run_fig18_local_mysql,
+    "service": run_service,
 }
 
 __all__ = [
@@ -128,5 +134,8 @@ __all__ = [
     "run_fig17_postgres",
     "run_fig18_local_mysql",
     "run_table6",
+    "ServiceAdaptabilityResult",
+    "ServiceSessionRow",
+    "run_service",
     "EXPERIMENTS",
 ]

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -29,6 +29,13 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Internal moments/velocities, keyed by parameter index."""
+        return {}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        pass
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -52,6 +59,16 @@ class SGD(Optimizer):
                 vel += grad
                 grad = vel
             param.value -= self.lr * grad
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {f"velocity.{i}": vel.copy()
+                for i, vel in enumerate(self._velocity)}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for i, vel in enumerate(self._velocity):
+            key = f"velocity.{i}"
+            if key in state:
+                vel[...] = np.asarray(state[key], dtype=np.float64)
 
 
 class Adam(Optimizer):
@@ -87,6 +104,25 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {
+            "step_count": np.asarray(self._step_count)}
+        for i, (m, v) in enumerate(zip(self._m, self._v)):
+            state[f"m.{i}"] = m.copy()
+            state[f"v.{i}"] = v.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        if "step_count" in state:
+            self._step_count = int(state["step_count"])
+        for i in range(len(self.parameters)):
+            if f"m.{i}" in state:
+                self._m[i][...] = np.asarray(state[f"m.{i}"],
+                                             dtype=np.float64)
+            if f"v.{i}" in state:
+                self._v[i][...] = np.asarray(state[f"v.{i}"],
+                                             dtype=np.float64)
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

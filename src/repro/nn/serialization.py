@@ -1,8 +1,17 @@
-"""Persist module state dicts as ``.npz`` archives (the repo's model format)."""
+"""Persist module state dicts as ``.npz`` archives (the repo's model format).
+
+Writes are **atomic**: the archive is first written to a temporary file in
+the destination directory and then ``os.replace``d over the final path, so
+a process killed mid-save (e.g. a tuning-service worker) can never leave a
+truncated checkpoint behind — readers either see the old complete file or
+the new complete file.
+"""
 
 from __future__ import annotations
 
 import os
+import tempfile
+import zipfile
 from typing import Dict
 
 import numpy as np
@@ -12,15 +21,43 @@ from .module import Module
 __all__ = ["save_state", "load_state", "save_module", "load_module"]
 
 
+def _final_path(path: str | os.PathLike) -> str:
+    """The path ``np.savez`` would actually write (it appends ``.npz``)."""
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
 def save_state(state: Dict[str, np.ndarray], path: str | os.PathLike) -> None:
-    """Write a flat name→array mapping to an ``.npz`` file."""
-    np.savez(path, **{name: np.asarray(value) for name, value in state.items()})
+    """Atomically write a flat name→array mapping to an ``.npz`` file."""
+    final = _final_path(path)
+    directory = os.path.dirname(final) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-",
+                               suffix=".npz")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle,
+                     **{name: np.asarray(value)
+                        for name, value in state.items()})
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_state(path: str | os.PathLike) -> Dict[str, np.ndarray]:
     """Read a state dict previously written by :func:`save_state`."""
-    with np.load(path) as archive:
-        return {name: archive[name].copy() for name in archive.files}
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name].copy() for name in archive.files}
+    except (zipfile.BadZipFile, EOFError, ValueError) as error:
+        raise OSError(
+            f"corrupt or truncated checkpoint {os.fspath(path)!r}: {error}"
+        ) from error
 
 
 def save_module(module: Module, path: str | os.PathLike) -> None:

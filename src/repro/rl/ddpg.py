@@ -329,6 +329,11 @@ class DDPGAgent:
 
     # -- persistence -----------------------------------------------------------
     def state_dict(self) -> Dict[str, np.ndarray]:
+        """Everything needed to resume: network weights, the state
+        normalizer's running statistics, both Adam optimizers' moments and
+        the exploration-noise scale.  A checkpoint missing the auxiliary
+        groups (one written by an older version) still loads — the agent
+        keeps its current values for whatever is absent."""
         state: Dict[str, np.ndarray] = {}
         for prefix, module in (("actor.", self.actor),
                                ("critic.", self.critic),
@@ -336,23 +341,45 @@ class DDPGAgent:
                                ("target_critic.", self.target_critic)):
             for name, value in module.state_dict().items():
                 state[prefix + name] = value
+        for prefix, optimizer in (("actor_optimizer.", self.actor_optimizer),
+                                  ("critic_optimizer.", self.critic_optimizer)):
+            for name, value in optimizer.state_dict().items():
+                state[prefix + name] = value
+        if self.state_normalizer is not None:
+            for name, value in self.state_normalizer.state_dict().items():
+                state[f"state_normalizer.{name}"] = value
         if self.best_known_action is not None:
             state["best_known_action"] = self.best_known_action.copy()
+        state["train_steps"] = np.asarray(self.train_steps)
+        state["noise_sigma"] = np.asarray(self.noise.sigma)
         return state
+
+    @staticmethod
+    def _group(state: Dict[str, np.ndarray], prefix: str) -> Dict[str, np.ndarray]:
+        return {name[len(prefix):]: value for name, value in state.items()
+                if name.startswith(prefix)}
 
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         for prefix, module in (("actor.", self.actor),
                                ("critic.", self.critic),
                                ("target_actor.", self.target_actor),
                                ("target_critic.", self.target_critic)):
-            module.load_state_dict({
-                name[len(prefix):]: value
-                for name, value in state.items()
-                if name.startswith(prefix)
-            })
+            module.load_state_dict(self._group(state, prefix))
+        for prefix, optimizer in (("actor_optimizer.", self.actor_optimizer),
+                                  ("critic_optimizer.", self.critic_optimizer)):
+            optimizer.load_state_dict(self._group(state, prefix))
+        normalizer_state = self._group(state, "state_normalizer.")
+        if normalizer_state:
+            if self.state_normalizer is None:
+                self.state_normalizer = RunningNormalizer(self.config.state_dim)
+            self.state_normalizer.load_state_dict(normalizer_state)
         if "best_known_action" in state:
             self.best_known_action = np.asarray(state["best_known_action"],
                                                 dtype=np.float64).copy()
+        if "train_steps" in state:
+            self.train_steps = int(state["train_steps"])
+        if "noise_sigma" in state:
+            self.noise.sigma = float(state["noise_sigma"])
 
     def save(self, path) -> None:
         nn.save_state(self.state_dict(), path)

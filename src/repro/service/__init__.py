@@ -1,0 +1,29 @@
+"""The multi-tenant tuning service (paper §2.2's deployment, long-lived).
+
+Turns the single-run pipeline of :mod:`repro.core` into a service: a
+priority-queued, multi-worker :class:`TuningService` front end, a
+:class:`ModelRegistry` that warm-starts new tenants from the nearest
+pre-trained model (§5.3 adaptability as a feature), a :class:`SafetyGuard`
+that canary-evaluates every recommendation before deployment (after
+OnlineTune), and a per-session :class:`AuditLog`.
+"""
+
+from .audit import AuditLog
+from .registry import ModelEntry, ModelRegistry, hardware_distance
+from .safety import SLA, CanaryVerdict, DeploymentRecord, SafetyGuard
+from .server import SessionState, TuningRequest, TuningService, TuningSession
+
+__all__ = [
+    "AuditLog",
+    "ModelEntry",
+    "ModelRegistry",
+    "hardware_distance",
+    "SLA",
+    "CanaryVerdict",
+    "DeploymentRecord",
+    "SafetyGuard",
+    "SessionState",
+    "TuningRequest",
+    "TuningService",
+    "TuningSession",
+]

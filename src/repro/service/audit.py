@@ -1,0 +1,94 @@
+"""Structured per-session audit log for the tuning service.
+
+Every externally-visible decision the service takes — queueing, warm-start
+provenance, canary verdicts, deployments, rollbacks — is recorded as one
+JSON object.  Events are held in memory for introspection and, when the
+log is constructed with a path, appended to a JSON-lines file so an
+operator can reconstruct any session after the fact.
+
+Events carry a monotonically increasing ``seq`` instead of wall-clock
+timestamps by default, so audit trails of seeded runs are reproducible
+byte for byte; pass ``wallclock=True`` to add an ``ts`` field.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from typing import Dict, Iterator, List
+
+__all__ = ["AuditLog"]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars / odd mappings into plain JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (ValueError, TypeError):
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class AuditLog:
+    """Append-only, thread-safe event log with optional JSONL persistence."""
+
+    def __init__(self, path: str | os.PathLike | None = None,
+                 wallclock: bool = False) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self.wallclock = bool(wallclock)
+        self._events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def emit(self, session_id: str, event: str, **fields: object) -> Dict[str, object]:
+        """Record one event; returns the stored record."""
+        record: Dict[str, object] = {
+            "session": str(session_id),
+            "event": str(event),
+        }
+        if self.wallclock:
+            import time
+            record["ts"] = time.time()
+        record.update({str(k): _jsonable(v) for k, v in fields.items()})
+        with self._lock:
+            record = {"seq": len(self._events), **record}
+            self._events.append(record)
+            if self.path is not None:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(json.dumps(record, sort_keys=False) + "\n")
+        return record
+
+    # -- introspection -----------------------------------------------------
+    def events(self, session_id: str | None = None,
+               event: str | None = None) -> List[Dict[str, object]]:
+        """Events so far, optionally filtered by session and/or kind."""
+        with self._lock:
+            snapshot = list(self._events)
+        return [r for r in snapshot
+                if (session_id is None or r["session"] == session_id)
+                and (event is None or r["event"] == event)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.events())
+
+    @staticmethod
+    def read_jsonl(path: str | os.PathLike) -> List[Dict[str, object]]:
+        """Parse a JSONL audit file back into event records."""
+        records = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records

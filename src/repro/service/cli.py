@@ -1,0 +1,102 @@
+"""``repro-service``: run tuning sessions through the service from a shell.
+
+Submits one session per requested workload against the chosen instance
+type, waits for them to finish, and prints each session's status plus the
+audit trail.  A persistent ``--registry`` directory makes repeat runs
+warm-start from earlier models.
+
+Examples::
+
+    repro-service --workload sysbench-rw --steps 60
+    repro-service --workload sysbench-rw --workload tpcc \
+        --hardware CDB-C --registry /tmp/models --audit /tmp/audit.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from typing import List
+
+from .audit import AuditLog
+from .registry import ModelRegistry
+from .server import TuningRequest, TuningService
+from ..dbsim.hardware import INSTANCES
+from ..dbsim.workload import WORKLOADS
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Run CDBTune tuning sessions through the multi-tenant "
+                    "tuning service.")
+    parser.add_argument("--workload", action="append", dest="workloads",
+                        choices=sorted(WORKLOADS),
+                        help="workload to tune (repeatable; default: "
+                             "sysbench-rw)")
+    parser.add_argument("--hardware", default="CDB-A",
+                        choices=sorted(INSTANCES),
+                        help="instance type (paper Table 1; default CDB-A)")
+    parser.add_argument("--steps", type=int, default=60,
+                        help="offline training step budget per session")
+    parser.add_argument("--tune-steps", type=int, default=5,
+                        help="online tuning steps (paper: 5)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent tuning sessions")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--noise", type=float, default=0.015,
+                        help="measurement noise of the simulated instance")
+    parser.add_argument("--registry", default=None,
+                        help="model-registry directory (default: a "
+                             "temporary directory)")
+    parser.add_argument("--audit", default=None,
+                        help="write the audit trail to this JSONL file")
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    workloads = args.workloads or ["sysbench-rw"]
+    hardware = INSTANCES[args.hardware]
+
+    registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
+    registry = ModelRegistry(registry_dir)
+    audit = AuditLog(path=args.audit)
+    service = TuningService(registry=registry, audit=audit,
+                            workers=args.workers)
+
+    session_ids = []
+    with service:
+        for index, name in enumerate(workloads):
+            session_ids.append(service.submit(TuningRequest(
+                hardware=hardware, workload=name,
+                train_steps=args.steps, tune_steps=args.tune_steps,
+                seed=args.seed + index, noise=args.noise)))
+        for sid in session_ids:
+            service.wait(sid)
+
+    failed = 0
+    for sid in session_ids:
+        status = service.status(sid)
+        line = (f"{status['id']}  {status['tenant']:<24} "
+                f"{status['state']:<11}")
+        if "best_throughput" in status:
+            line += (f" best {status['best_throughput']:9.1f} txn/s"
+                     f"  ({status['throughput_improvement'] * 100:+.0f}%)")
+        if status["warm_started_from"]:
+            line += f"  warm-start←{status['warm_started_from']}"
+        if status["error"]:
+            line += f"  [{status['error']}]"
+            failed += 1
+        print(line)
+    print(f"\nregistry: {len(registry)} model(s) in {registry_dir}")
+    print(f"audit: {len(audit)} event(s)"
+          + (f" → {args.audit}" if args.audit else ""))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

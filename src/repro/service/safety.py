@@ -1,0 +1,210 @@
+"""Safety guard: canary evaluation and rollback for recommended configs.
+
+CDBTune itself happily *recommends* a configuration that crashes the
+instance (§5.2.3's crash region is part of the training signal), but a
+production service must never *deploy* one.  Following OnlineTune
+("Towards Dynamic and Safe Configuration Tuning for Cloud Databases"),
+every recommendation is first canary-evaluated on a seeded replica of the
+tenant's instance and compared against the tenant's current baseline
+configuration.  A candidate is rejected when it
+
+* crashes the replica (e.g. ``innodb_log_file_size × files_in_group``
+  exceeding the disk threshold), or
+* regresses throughput or latency beyond the SLA's tolerance.
+
+Accepted configurations are pushed onto a per-tenant **rollback stack**;
+:meth:`SafetyGuard.rollback` restores the previously deployed
+configuration at any time.  Every verdict is recorded.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..dbsim.engine import SimulatedDatabase
+from ..dbsim.errors import DatabaseCrashError
+from ..rl.reward import PerformanceSample
+
+__all__ = ["SLA", "CanaryVerdict", "DeploymentRecord", "SafetyGuard"]
+
+
+@dataclass(frozen=True)
+class SLA:
+    """Regression tolerances for canary verdicts.
+
+    A candidate passes when its canary throughput is at least
+    ``(1 - max_throughput_drop) ×`` the baseline's and its latency at most
+    ``(1 + max_latency_increase) ×`` the baseline's.
+    """
+
+    max_throughput_drop: float = 0.05
+    max_latency_increase: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_throughput_drop < 1.0:
+            raise ValueError("max_throughput_drop must be in [0, 1)")
+        if self.max_latency_increase < 0.0:
+            raise ValueError("max_latency_increase must be non-negative")
+
+
+@dataclass(frozen=True)
+class CanaryVerdict:
+    """Outcome of one canary evaluation."""
+
+    accepted: bool
+    reason: str                          # "ok" | "crash" | "throughput-regression" | "latency-regression"
+    baseline: PerformanceSample | None
+    candidate: PerformanceSample | None  # None when the candidate crashed
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "accepted": self.accepted, "reason": self.reason,
+            "baseline_throughput": (self.baseline.throughput
+                                    if self.baseline else None),
+            "baseline_latency": (self.baseline.latency
+                                 if self.baseline else None),
+            "candidate_throughput": (self.candidate.throughput
+                                     if self.candidate else None),
+            "candidate_latency": (self.candidate.latency
+                                  if self.candidate else None),
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class DeploymentRecord:
+    """One entry of a tenant's rollback stack."""
+
+    tenant: str
+    config: Dict[str, float]
+    verdict: CanaryVerdict | None    # None for the seeded baseline config
+
+
+class SafetyGuard:
+    """Canary-evaluates recommendations and tracks deployed configs.
+
+    The guard never touches the tenant's live instance: canaries run on
+    :meth:`~repro.dbsim.engine.SimulatedDatabase.replica` copies, which are
+    deterministic per (seed, config, trial) — the paper's replicated
+    stress-test environment, used here as the staging instance.
+    """
+
+    #: Trial numbers reserved for canary stress tests; fixed so canary
+    #: measurements are reproducible and never collide with a tuning
+    #: session's own trial sequence on a shared cache.
+    BASELINE_TRIAL = 1_000_003
+    CANDIDATE_TRIAL = 1_000_007
+
+    def __init__(self, sla: SLA | None = None) -> None:
+        self.sla = sla if sla is not None else SLA()
+        self.decisions: List[CanaryVerdict] = []
+        self._stacks: Dict[str, List[DeploymentRecord]] = {}
+        self._lock = threading.RLock()
+
+    # -- canary ------------------------------------------------------------
+    def canary(self, database: SimulatedDatabase,
+               candidate_config: Dict[str, float],
+               baseline_config: Dict[str, float] | None = None,
+               ) -> CanaryVerdict:
+        """Evaluate ``candidate_config`` against the baseline on a replica.
+
+        ``baseline_config`` defaults to the database's vendor defaults —
+        the configuration a fresh tenant is running.
+        """
+        replica = database.replica()
+        if baseline_config is None:
+            baseline_config = replica.default_config()
+        try:
+            baseline = replica.evaluate(baseline_config,
+                                        trial=self.BASELINE_TRIAL).performance
+        except DatabaseCrashError as error:
+            # A crashing baseline cannot gate anything; measure the
+            # candidate on its own and accept unless it crashes too.
+            baseline = None
+            detail = f"baseline crashed: {error}"
+        else:
+            detail = ""
+        try:
+            candidate = replica.evaluate(candidate_config,
+                                         trial=self.CANDIDATE_TRIAL).performance
+        except DatabaseCrashError as error:
+            verdict = CanaryVerdict(accepted=False, reason="crash",
+                                    baseline=baseline, candidate=None,
+                                    detail=str(error))
+            return self._record(verdict)
+
+        if baseline is not None:
+            floor = baseline.throughput * (1.0 - self.sla.max_throughput_drop)
+            ceiling = baseline.latency * (1.0 + self.sla.max_latency_increase)
+            if candidate.throughput < floor:
+                verdict = CanaryVerdict(
+                    accepted=False, reason="throughput-regression",
+                    baseline=baseline, candidate=candidate,
+                    detail=(f"candidate {candidate.throughput:.1f} txn/s < "
+                            f"SLA floor {floor:.1f} txn/s"))
+                return self._record(verdict)
+            if candidate.latency > ceiling:
+                verdict = CanaryVerdict(
+                    accepted=False, reason="latency-regression",
+                    baseline=baseline, candidate=candidate,
+                    detail=(f"candidate {candidate.latency:.1f} ms > "
+                            f"SLA ceiling {ceiling:.1f} ms"))
+                return self._record(verdict)
+        return self._record(CanaryVerdict(accepted=True, reason="ok",
+                                          baseline=baseline,
+                                          candidate=candidate,
+                                          detail=detail))
+
+    def _record(self, verdict: CanaryVerdict) -> CanaryVerdict:
+        with self._lock:
+            self.decisions.append(verdict)
+        return verdict
+
+    # -- deployment / rollback --------------------------------------------
+    def seed_baseline(self, tenant: str, config: Dict[str, float]) -> None:
+        """Install the tenant's pre-service configuration as stack bottom."""
+        with self._lock:
+            self._stacks.setdefault(str(tenant), []).insert(
+                0, DeploymentRecord(tenant=str(tenant), config=dict(config),
+                                    verdict=None))
+
+    def deploy(self, tenant: str, config: Dict[str, float],
+               verdict: CanaryVerdict) -> DeploymentRecord:
+        """Push an accepted configuration onto the tenant's stack."""
+        if not verdict.accepted:
+            raise ValueError(
+                f"refusing to deploy a rejected configuration "
+                f"({verdict.reason}: {verdict.detail})")
+        record = DeploymentRecord(tenant=str(tenant), config=dict(config),
+                                  verdict=verdict)
+        with self._lock:
+            self._stacks.setdefault(str(tenant), []).append(record)
+        return record
+
+    def deployed_config(self, tenant: str) -> Dict[str, float] | None:
+        """The tenant's currently live configuration, if any."""
+        with self._lock:
+            stack = self._stacks.get(str(tenant))
+            return dict(stack[-1].config) if stack else None
+
+    def rollback(self, tenant: str) -> Dict[str, float]:
+        """Revert the tenant to the previously deployed configuration.
+
+        Pops the current deployment and returns the configuration now
+        live.  Raises when there is nothing to roll back to.
+        """
+        with self._lock:
+            stack = self._stacks.get(str(tenant), [])
+            if len(stack) < 2:
+                raise RuntimeError(
+                    f"tenant {tenant!r} has no earlier deployment to "
+                    f"roll back to")
+            stack.pop()
+            return dict(stack[-1].config)
+
+    def history(self, tenant: str) -> List[DeploymentRecord]:
+        with self._lock:
+            return list(self._stacks.get(str(tenant), []))

@@ -1,0 +1,452 @@
+"""The long-lived, multi-tenant tuning service (§2.2, Figure 2 at scale).
+
+The paper's deployment serves *many* concurrent client tuning requests
+against pools of CDB instances; this module turns the repo's single-run
+pipeline into that shape.  A :class:`TuningService` owns
+
+* a **priority job queue** of :class:`TuningRequest`\\ s and a pool of
+  worker threads that drain it (each session may additionally fan its
+  warmup stress tests out over a
+  :class:`~repro.core.parallel.ParallelEvaluator`);
+* a **model registry** (:mod:`repro.service.registry`) consulted before
+  every session: a nearby pre-trained model is fine-tuned instead of
+  cold-starting, reproducing the §5.3 adaptability results as a service
+  feature;
+* a **safety guard** (:mod:`repro.service.safety`) that canary-evaluates
+  every recommendation against the tenant's live baseline before anything
+  is deployed, with per-tenant rollback;
+* an **audit log** (:mod:`repro.service.audit`) recording queueing,
+  warm-start provenance, canary verdicts and deployments per session.
+
+Session lifecycle::
+
+    SUBMITTED → WARMUP → TRAINING → RECOMMENDED → DEPLOYED
+                                                → FAILED
+
+Sessions are deterministic under a fixed request seed regardless of how
+worker threads interleave: each session owns its private tuner, database
+and RNG chain, and cross-session coupling happens only through the
+registry (warm-start) and guard (baseline config), both of which the
+caller sequences explicitly when determinism across sessions matters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .audit import AuditLog
+from .registry import ModelEntry, ModelRegistry
+from .safety import CanaryVerdict, SafetyGuard
+from ..core.pipeline import TrainingResult, TuningResult
+from ..core.recommender import Recommendation
+from ..core.tuner import CDBTune
+from ..dbsim.hardware import HardwareSpec
+from ..dbsim.workload import WorkloadSpec, get_workload
+
+__all__ = ["SessionState", "TuningRequest", "TuningSession", "TuningService"]
+
+
+class SessionState:
+    """Lifecycle states of a tuning session."""
+
+    SUBMITTED = "SUBMITTED"
+    WARMUP = "WARMUP"
+    TRAINING = "TRAINING"
+    RECOMMENDED = "RECOMMENDED"
+    DEPLOYED = "DEPLOYED"
+    FAILED = "FAILED"
+
+    TERMINAL = frozenset({DEPLOYED, FAILED})
+    ORDER = (SUBMITTED, WARMUP, TRAINING, RECOMMENDED, DEPLOYED)
+
+
+@dataclass
+class TuningRequest:
+    """One tenant's tuning job.
+
+    ``tenant`` defaults to ``workload@hardware`` — the paper's notion of a
+    tuning task (a workload on an instance type).  Higher ``priority``
+    values are served first; ties go to submission order.
+    """
+
+    hardware: HardwareSpec
+    workload: WorkloadSpec | str
+    tenant: str | None = None
+    priority: int = 0
+    train_steps: int = 60
+    tune_steps: int = 5
+    current_config: Dict[str, float] | None = None
+    seed: int = 0
+    noise: float = 0.015
+    eval_workers: int = 1          # >1 prefetches warmup via ParallelEvaluator
+    warm_start: bool = True
+    train_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, str):
+            self.workload = get_workload(self.workload)
+        if self.tenant is None:
+            self.tenant = f"{self.workload.name}@{self.hardware.name}"
+        if self.train_steps <= 0 or self.tune_steps <= 0:
+            raise ValueError("train_steps and tune_steps must be positive")
+
+
+class TuningSession:
+    """Mutable state of one submitted request, safe for concurrent reads."""
+
+    def __init__(self, session_id: str, request: TuningRequest) -> None:
+        self.id = session_id
+        self.request = request
+        self._lock = threading.Lock()
+        self._state = SessionState.SUBMITTED
+        self.state_history: List[str] = [SessionState.SUBMITTED]
+        self.done = threading.Event()
+        self.error: str | None = None
+        self.warm_started_from: str | None = None
+        self.warm_start_distance: float | None = None
+        self.train_budget: int = request.train_steps
+        self.training: TrainingResult | None = None
+        self.tuning: TuningResult | None = None
+        self.recommendation: Recommendation | None = None
+        self.verdict: CanaryVerdict | None = None
+        self.model_id: str | None = None
+        self.deployed = False
+
+    # -- state machine -----------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def _transition(self, state: str) -> None:
+        with self._lock:
+            self._state = state
+            self.state_history.append(state)
+        if state in SessionState.TERMINAL:
+            self.done.set()
+
+    # -- introspection -----------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Point-in-time snapshot for clients polling progress."""
+        with self._lock:
+            state = self._state
+            history = list(self.state_history)
+        workload = self.request.workload
+        assert isinstance(workload, WorkloadSpec)
+        snapshot: Dict[str, object] = {
+            "id": self.id,
+            "tenant": self.request.tenant,
+            "workload": workload.name,
+            "hardware": self.request.hardware.name,
+            "priority": self.request.priority,
+            "state": state,
+            "state_history": history,
+            "warm_started_from": self.warm_started_from,
+            "warm_start_distance": self.warm_start_distance,
+            "train_budget": self.train_budget,
+            "deployed": self.deployed,
+            "model_id": self.model_id,
+            "error": self.error,
+        }
+        if self.training is not None:
+            snapshot["train_steps_run"] = self.training.steps
+            snapshot["train_crashes"] = self.training.crashes
+        if self.tuning is not None:
+            snapshot["best_throughput"] = self.tuning.best.throughput
+            snapshot["best_latency"] = self.tuning.best.latency
+            snapshot["throughput_improvement"] = (
+                self.tuning.throughput_improvement)
+        if self.verdict is not None:
+            snapshot["canary"] = self.verdict.as_dict()
+        return snapshot
+
+
+#: Builds the per-session tuner; override to change registry/architecture.
+TunerFactory = Callable[[TuningRequest], CDBTune]
+
+
+def _default_tuner_factory(request: TuningRequest) -> CDBTune:
+    return CDBTune(seed=request.seed, noise=request.noise)
+
+
+class TuningService:
+    """Multi-tenant tuning front end: queue, workers, registry, guard.
+
+    Parameters
+    ----------
+    registry:
+        Model registry for warm starts; ``None`` disables them.
+    guard:
+        Safety guard; defaults to a fresh :class:`SafetyGuard` with the
+        default SLA.
+    audit:
+        Audit log; defaults to in-memory only.
+    workers:
+        Worker-thread count — the number of sessions tuned concurrently.
+    warm_start_max_distance:
+        Registry matches farther than this (workload-signature distance +
+        hardware distance) cold-start instead.  The default accepts the
+        same workload on resized hardware (Figures 10–11) but not a
+        different workload family.
+    warm_start_budget_frac:
+        Fraction of the requested ``train_steps`` a warm-started session
+        spends fine-tuning (§5.3: fine-tuning needs far fewer iterations
+        than cold training).
+    autostart:
+        Spawn workers on the first :meth:`submit` (default).  With
+        ``autostart=False`` submissions only queue until :meth:`start` —
+        useful to batch a backlog and let priorities decide the order.
+    """
+
+    def __init__(self, registry: ModelRegistry | None = None,
+                 guard: SafetyGuard | None = None,
+                 audit: AuditLog | None = None,
+                 workers: int = 2,
+                 warm_start_max_distance: float = 0.35,
+                 warm_start_budget_frac: float = 0.5,
+                 tuner_factory: TunerFactory | None = None,
+                 autostart: bool = True) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if not 0.0 < warm_start_budget_frac <= 1.0:
+            raise ValueError("warm_start_budget_frac must be in (0, 1]")
+        self.registry = registry
+        self.guard = guard if guard is not None else SafetyGuard()
+        self.audit = audit if audit is not None else AuditLog()
+        self.workers = int(workers)
+        self.warm_start_max_distance = float(warm_start_max_distance)
+        self.warm_start_budget_frac = float(warm_start_budget_frac)
+        self.tuner_factory = tuner_factory or _default_tuner_factory
+        self.autostart = bool(autostart)
+
+        self._cond = threading.Condition()
+        self._queue: List[tuple] = []    # (-priority, seq, session)
+        self._seq = 0
+        self._sessions: Dict[str, TuningSession] = {}
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "TuningService":
+        """Spawn the worker threads (idempotent)."""
+        with self._cond:
+            if self._started:
+                return self
+            if self._stopping:
+                raise RuntimeError("service has been shut down")
+            self._started = True
+            for index in range(self.workers):
+                thread = threading.Thread(target=self._worker_loop,
+                                          name=f"tuning-worker-{index}",
+                                          daemon=True)
+                self._threads.append(thread)
+                thread.start()
+        return self
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the service.
+
+        With ``drain`` (default) queued and in-flight sessions finish
+        first; otherwise queued sessions are cancelled (marked FAILED) and
+        only in-flight ones run to completion.
+        """
+        with self._cond:
+            if not drain:
+                while self._queue:
+                    _, _, session = heapq.heappop(self._queue)
+                    session.error = "cancelled at shutdown"
+                    session._transition(SessionState.FAILED)
+                    self.audit.emit(session.id, "cancelled",
+                                    reason="shutdown")
+            self._stopping = True
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    def __enter__(self) -> "TuningService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(drain=not any(exc_info))
+
+    # -- client API --------------------------------------------------------
+    def submit(self, request: TuningRequest) -> str:
+        """Queue a request; returns the session id immediately."""
+        with self._cond:
+            if self._stopping:
+                raise RuntimeError("service is shutting down")
+            self._seq += 1
+            session = TuningSession(f"s{self._seq:04d}", request)
+            self._sessions[session.id] = session
+            heapq.heappush(self._queue,
+                           (-int(request.priority), self._seq, session))
+            self._cond.notify()
+        self.audit.emit(session.id, "queued", tenant=request.tenant,
+                        workload=request.workload.name,
+                        hardware=request.hardware.name,
+                        priority=request.priority,
+                        train_steps=request.train_steps)
+        if self.autostart and not self._started:
+            self.start()
+        return session.id
+
+    def session(self, session_id: str) -> TuningSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"unknown session {session_id!r}") from None
+
+    def status(self, session_id: str) -> Dict[str, object]:
+        return self.session(session_id).status()
+
+    def sessions(self) -> List[Dict[str, object]]:
+        """Status snapshots of every session, in submission order."""
+        return [self._sessions[sid].status() for sid in self._sessions]
+
+    def wait(self, session_id: str, timeout: float | None = None) -> TuningSession:
+        """Block until a session reaches a terminal state."""
+        session = self.session(session_id)
+        if not session.done.wait(timeout):
+            raise TimeoutError(f"session {session_id} still "
+                               f"{session.state} after {timeout}s")
+        return session
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until the queue is empty and no session is in flight."""
+        for sid in list(self._sessions):
+            self.wait(sid, timeout)
+
+    # -- worker side -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue:
+                    return                      # stopping and drained
+                _, _, session = heapq.heappop(self._queue)
+            try:
+                self._process(session)
+            except Exception as error:  # noqa: BLE001 - session must terminate
+                session.error = f"{type(error).__name__}: {error}"
+                self.audit.emit(session.id, "failed", error=session.error)
+                session._transition(SessionState.FAILED)
+
+    def _find_warm_start(self, session: TuningSession,
+                         tuner: CDBTune) -> Optional[ModelEntry]:
+        request = session.request
+        workload = request.workload
+        assert isinstance(workload, WorkloadSpec)
+        if self.registry is None or not request.warm_start:
+            return None
+        match = self.registry.find_nearest(
+            workload, request.hardware,
+            state_dim=tuner.agent.config.state_dim,
+            action_dim=tuner.agent.config.action_dim,
+            max_distance=self.warm_start_max_distance)
+        if match is None:
+            return None
+        entry, distance = match
+        self.registry.load_into(tuner, entry)
+        session.warm_started_from = entry.model_id
+        session.warm_start_distance = distance
+        session.train_budget = max(
+            1, int(round(request.train_steps * self.warm_start_budget_frac)))
+        self.audit.emit(session.id, "warm-start", model=entry.model_id,
+                        trained_on_workload=entry.workload_name,
+                        trained_on_hardware=entry.hardware["name"],
+                        distance=round(distance, 6),
+                        budget=session.train_budget)
+        return entry
+
+    def _process(self, session: TuningSession) -> None:
+        request = session.request
+        workload = request.workload
+        assert isinstance(workload, WorkloadSpec)
+        tenant = str(request.tenant)
+
+        # WARMUP: build the tenant's tuner, consult the registry, and seed
+        # the tenant's baseline configuration with the guard.
+        session._transition(SessionState.WARMUP)
+        self.audit.emit(session.id, "started", tenant=tenant)
+        tuner = self.tuner_factory(request)
+        entry = self._find_warm_start(session, tuner)
+        if entry is None:
+            self.audit.emit(session.id, "cold-start",
+                            budget=session.train_budget)
+        if self.guard.deployed_config(tenant) is None:
+            baseline = dict(tuner.db_registry.defaults())
+            if request.current_config is not None:
+                baseline.update(
+                    tuner.db_registry.validate(request.current_config))
+            self.guard.seed_baseline(tenant, baseline)
+
+        # TRAINING: offline training (full budget cold, reduced budget
+        # warm) followed by the online tuning steps of §2.1.2.
+        session._transition(SessionState.TRAINING)
+        session.training = tuner.offline_train(
+            request.hardware, workload, max_steps=session.train_budget,
+            workers=(request.eval_workers
+                     if request.eval_workers > 1 else None),
+            **request.train_kwargs)
+        self.audit.emit(
+            session.id, "training-finished",
+            steps=session.training.steps,
+            episodes=session.training.episodes,
+            crashes=session.training.crashes,
+            converged=session.training.converged,
+            best_throughput=(session.training.best_probe.throughput
+                             if session.training.best_probe else None))
+        deployed_config = self.guard.deployed_config(tenant)
+        session.tuning = tuner.tune(request.hardware, workload,
+                                    steps=request.tune_steps,
+                                    initial_config=deployed_config)
+        session.recommendation = tuner.recommender.from_config(
+            session.tuning.best_config)
+        session._transition(SessionState.RECOMMENDED)
+        self.audit.emit(
+            session.id, "recommended",
+            best_throughput=session.tuning.best.throughput,
+            best_latency=session.tuning.best.latency,
+            improvement=session.tuning.throughput_improvement)
+
+        # Register the fine-tuned model for future warm starts, whatever
+        # the canary decides — the model is knowledge, not a deployment.
+        if self.registry is not None:
+            best = session.tuning.best
+            registered = self.registry.register(
+                tuner, workload, request.hardware,
+                train_steps=session.training.steps,
+                best_throughput=best.throughput,
+                best_latency=best.latency,
+                parent=session.warm_started_from,
+                metadata={"session": session.id, "tenant": tenant},
+                model_id=(f"{workload.name}-{request.hardware.name}-"
+                          f"{session.id}"))
+            session.model_id = registered.model_id
+            self.audit.emit(session.id, "model-registered",
+                            model=registered.model_id)
+
+        # Canary + deployment: the recommendation must beat the tenant's
+        # live configuration on a replica before it goes live.
+        database = tuner.make_database(request.hardware, workload)
+        verdict = self.guard.canary(database,
+                                    session.recommendation.config,
+                                    baseline_config=deployed_config)
+        session.verdict = verdict
+        self.audit.emit(session.id, "canary", **verdict.as_dict())
+        if verdict.accepted:
+            self.guard.deploy(tenant, session.recommendation.config, verdict)
+            session.deployed = True
+            self.audit.emit(session.id, "deployed", tenant=tenant)
+            session._transition(SessionState.DEPLOYED)
+        else:
+            session.error = f"canary rejected: {verdict.reason}"
+            self.audit.emit(session.id, "deployment-blocked",
+                            reason=verdict.reason, detail=verdict.detail)
+            session._transition(SessionState.FAILED)

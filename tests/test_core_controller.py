@@ -4,6 +4,21 @@ import pytest
 
 from repro.core import CDBTune, Controller
 from repro.dbsim import CDB_A
+from repro.service import TuningService
+
+
+def _tiny_tuner(request):
+    return CDBTune(seed=request.seed, noise=request.noise,
+                   actor_hidden=(16, 16), critic_hidden=(16, 16),
+                   critic_branch_width=8, batch_size=8,
+                   prioritized_replay=False)
+
+
+def _service_request_kwargs():
+    return dict(train_steps=10, tune_steps=2, seed=7, noise=0.0,
+                train_kwargs={"probe_every": 1000, "episode_length": 5,
+                              "warmup_steps": 4,
+                              "stop_on_convergence": False})
 
 
 @pytest.fixture(scope="module")
@@ -47,3 +62,51 @@ class TestController:
             CDB_A, "sysbench-rw", steps=2,
             current_config={"innodb_buffer_pool_size": 2 * 1024 ** 3})
         assert outcome.result.best.throughput > 0
+
+
+class TestControllerServiceRouting:
+    def test_service_request_without_service_raises(self):
+        ctrl = Controller(CDBTune(seed=1, noise=0.0))
+        with pytest.raises(RuntimeError, match="no tuning service"):
+            ctrl.service_request(CDB_A, "sysbench-rw")
+
+    def test_service_request_logs_session(self):
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner)
+        ctrl = Controller(CDBTune(seed=1, noise=0.0), service=service)
+        session = ctrl.service_request(CDB_A, "sysbench-rw", timeout=300,
+                                       **_service_request_kwargs())
+        service.shutdown()
+        assert session.deployed
+        record = ctrl.log[-1]
+        assert record.kind == "service"
+        assert record.session_id == session.id
+        assert record.deployed is True
+        assert ctrl.request_counts()["service"] == 1
+
+    def test_service_request_nowait_returns_session_id(self):
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner)
+        ctrl = Controller(CDBTune(seed=1, noise=0.0), service=service)
+        sid = ctrl.service_request(CDB_A, "sysbench-rw", wait=False,
+                                   **_service_request_kwargs())
+        assert isinstance(sid, str)
+        service.wait(sid, timeout=300)
+        service.shutdown()
+        # Fire-and-forget requests are not logged until someone waits.
+        assert "service" not in ctrl.request_counts()
+
+    def test_license_denial_rolls_back_service_deployment(self):
+        """§2.2.3: a deployment the user refuses to license is undone via
+        the guard's rollback stack — the tenant's baseline is live again."""
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner)
+        ctrl = Controller(CDBTune(seed=1, noise=0.0), service=service,
+                          license_callback=lambda _rec: False)
+        session = ctrl.service_request(CDB_A, "sysbench-rw", timeout=300,
+                                       **_service_request_kwargs())
+        service.shutdown()
+        assert session.deployed          # the service deployed it…
+        record = ctrl.log[-1]
+        assert record.deployed is False  # …but the license was withheld.
+        tenant = str(session.request.tenant)
+        baseline = service.guard.history(tenant)[0].config
+        assert service.guard.deployed_config(tenant) == baseline
+        assert len(service.guard.history(tenant)) == 1

@@ -1,0 +1,378 @@
+"""Multi-tenant tuning service: registry, safety guard, audit, sessions.
+
+Covers the acceptance scenarios of the service subsystem:
+
+* two concurrent tenant sessions run to completion and are deterministic
+  under a fixed seed;
+* a second session with a matching workload signature warm-starts from
+  the registry with at most half the cold-start budget and still reaches
+  the first session's best performance;
+* the safety guard blocks a provably crashing configuration
+  (``innodb_log_file_size × innodb_log_files_in_group`` beyond the disk
+  threshold) and rollback restores the previously deployed config.
+"""
+
+import json
+
+import pytest
+
+from repro.core.tuner import CDBTune
+from repro.dbsim.engine import SimulatedDatabase
+from repro.dbsim.hardware import CDB_A, CDB_B, CDB_C
+from repro.dbsim.workload import get_workload, signature_distance
+from repro.service import (
+    SLA,
+    AuditLog,
+    ModelRegistry,
+    SafetyGuard,
+    SessionState,
+    TuningRequest,
+    TuningService,
+    hardware_distance,
+)
+
+GIB = 1024 ** 3
+
+#: Redo log group of 1.6 TB on CDB-A's 100 GB disk — the §5.2.3 crash
+#: region, and the configuration the guard must never deploy.
+LETHAL_LOG_CONFIG = {"innodb_log_file_size": 16 * GIB,
+                     "innodb_log_files_in_group": 100}
+
+#: Small, fast training budget shared by the service tests.
+TRAIN_KWARGS = {"probe_every": 1000, "episode_length": 6,
+                "warmup_steps": 4, "stop_on_convergence": False}
+
+
+def _request(workload="sysbench-rw", hardware=CDB_A, **overrides):
+    kwargs = dict(hardware=hardware, workload=workload, train_steps=12,
+                  tune_steps=2, seed=5, noise=0.0,
+                  train_kwargs=dict(TRAIN_KWARGS))
+    kwargs.update(overrides)
+    return TuningRequest(**kwargs)
+
+
+def _tiny_tuner(request):
+    return CDBTune(seed=request.seed, noise=request.noise,
+                   actor_hidden=(16, 16), critic_hidden=(16, 16),
+                   critic_branch_width=8, batch_size=8,
+                   prioritized_replay=False)
+
+
+def _service(tmp_path=None, **overrides):
+    registry = None
+    if tmp_path is not None:
+        registry = ModelRegistry(tmp_path / "registry")
+    kwargs = dict(registry=registry, workers=2,
+                  tuner_factory=_tiny_tuner)
+    kwargs.update(overrides)
+    return TuningService(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Model registry
+# ---------------------------------------------------------------------------
+class TestModelRegistry:
+    def _trained(self, seed=5, steps=10):
+        tuner = _tiny_tuner(_request(seed=seed))
+        tuner.offline_train(CDB_A, "sysbench-rw", max_steps=steps,
+                            **TRAIN_KWARGS)
+        return tuner
+
+    def test_register_and_reload_roundtrip(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        tuner = self._trained()
+        entry = registry.register(tuner, get_workload("sysbench-rw"), CDB_A,
+                                  train_steps=10, best_throughput=123.0)
+        assert len(registry) == 1
+        assert entry.model_id.startswith("sysbench-rw-CDB-A-")
+        # A brand-new registry instance rebuilds the index from disk.
+        reopened = ModelRegistry(tmp_path)
+        assert [e.model_id for e in reopened.entries()] == [entry.model_id]
+        clone = _tiny_tuner(_request())
+        reopened.load_into(clone, reopened.entries()[0])
+        assert clone.trained
+        assert clone.agent.best_known_action is not None
+
+    def test_find_nearest_prefers_same_workload_and_hardware(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        tuner = self._trained()
+        far = registry.register(tuner, get_workload("tpcc"), CDB_C)
+        near = registry.register(tuner, get_workload("sysbench-rw"), CDB_A)
+        match = registry.find_nearest(get_workload("sysbench-rw"), CDB_A)
+        assert match is not None
+        entry, distance = match
+        assert entry.model_id == near.model_id != far.model_id
+        assert distance == 0.0
+
+    def test_max_distance_excludes_different_workload(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.register(self._trained(), get_workload("tpcc"), CDB_A)
+        match = registry.find_nearest(get_workload("sysbench-rw"), CDB_A,
+                                      max_distance=0.35)
+        assert match is None
+        # Without the cutoff the entry is still reachable.
+        assert registry.find_nearest(get_workload("sysbench-rw"),
+                                     CDB_A) is not None
+
+    def test_dimension_filter(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        entry = registry.register(self._trained(),
+                                  get_workload("sysbench-rw"), CDB_A)
+        assert registry.find_nearest(
+            get_workload("sysbench-rw"), CDB_A,
+            state_dim=entry.state_dim + 1) is None
+        assert registry.find_nearest(
+            get_workload("sysbench-rw"), CDB_A,
+            action_dim=entry.action_dim + 1) is None
+        assert registry.find_nearest(
+            get_workload("sysbench-rw"), CDB_A,
+            state_dim=entry.state_dim,
+            action_dim=entry.action_dim) is not None
+
+    def test_signature_and_hardware_distances(self):
+        rw = get_workload("sysbench-rw")
+        assert signature_distance(rw.signature(), rw.signature()) == 0.0
+        assert signature_distance(rw.signature(),
+                                  get_workload("tpcc").signature()) > 0.35
+        assert hardware_distance(CDB_A, CDB_A) == 0.0
+        # CDB-B only resizes RAM relative to CDB-A: a small step.
+        assert 0.0 < hardware_distance(CDB_A, CDB_B) < 0.35
+
+
+# ---------------------------------------------------------------------------
+# Safety guard
+# ---------------------------------------------------------------------------
+class TestSafetyGuard:
+    def _database(self):
+        return SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                 noise=0.0, seed=0)
+
+    def test_blocks_crashing_log_configuration(self):
+        """16 GiB × 100 redo log files exceed CDB-A's 100 GB disk: the
+        exact §5.2.3 crash region the guard exists to catch."""
+        guard = SafetyGuard()
+        database = self._database()
+        lethal = dict(database.default_config())
+        lethal.update(LETHAL_LOG_CONFIG)
+        verdict = guard.canary(database, lethal)
+        assert not verdict.accepted
+        assert verdict.reason == "crash"
+        assert verdict.candidate is None
+        with pytest.raises(ValueError, match="rejected"):
+            guard.deploy("tenant", lethal, verdict)
+        assert guard.deployed_config("tenant") is None
+
+    def test_blocks_sla_throughput_regression(self):
+        guard = SafetyGuard(SLA(max_throughput_drop=0.05))
+        database = self._database()
+        bad = dict(database.default_config())
+        bad["innodb_thread_concurrency"] = 1   # ~-50% throughput
+        verdict = guard.canary(database, bad)
+        assert not verdict.accepted
+        assert verdict.reason == "throughput-regression"
+        assert (verdict.candidate.throughput
+                < 0.95 * verdict.baseline.throughput)
+
+    def test_accepts_baseline_equivalent_config(self):
+        guard = SafetyGuard()
+        database = self._database()
+        verdict = guard.canary(database, database.default_config())
+        assert verdict.accepted
+        assert verdict.reason == "ok"
+        assert guard.decisions == [verdict]
+
+    def test_rollback_restores_previous_config(self):
+        guard = SafetyGuard()
+        database = self._database()
+        first = dict(database.default_config())
+        second = dict(first)
+        second["innodb_buffer_pool_size"] = 2 * first["innodb_buffer_pool_size"]
+        guard.seed_baseline("t", first)
+        verdict = guard.canary(database, second, baseline_config=first)
+        assert verdict.accepted
+        guard.deploy("t", second, verdict)
+        assert guard.deployed_config("t") == second
+        restored = guard.rollback("t")
+        assert restored == first == guard.deployed_config("t")
+
+    def test_rollback_without_history_raises(self):
+        guard = SafetyGuard()
+        with pytest.raises(RuntimeError, match="no earlier deployment"):
+            guard.rollback("nobody")
+        guard.seed_baseline("t", {"a": 1.0})
+        with pytest.raises(RuntimeError, match="no earlier deployment"):
+            guard.rollback("t")
+
+    def test_sla_validation(self):
+        with pytest.raises(ValueError):
+            SLA(max_throughput_drop=1.0)
+        with pytest.raises(ValueError):
+            SLA(max_latency_increase=-0.1)
+
+
+# ---------------------------------------------------------------------------
+# Audit log
+# ---------------------------------------------------------------------------
+class TestAuditLog:
+    def test_jsonl_persistence_and_filters(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        log = AuditLog(path=path)
+        log.emit("s1", "queued", tenant="a")
+        log.emit("s2", "queued", tenant="b")
+        log.emit("s1", "deployed")
+        assert len(log) == 3
+        assert [r["event"] for r in log.events(session_id="s1")] == [
+            "queued", "deployed"]
+        assert [r["session"] for r in log.events(event="queued")] == [
+            "s1", "s2"]
+        records = AuditLog.read_jsonl(path)
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert records[0]["tenant"] == "a"
+        # Each line is standalone JSON.
+        lines = path.read_text().strip().splitlines()
+        assert all(json.loads(line)["session"] for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# Service end-to-end
+# ---------------------------------------------------------------------------
+class TestTuningServiceSessions:
+    def _run_two_tenants(self, tmp_path, subdir):
+        service = _service(tmp_path / subdir)
+        sid_a = service.submit(_request("sysbench-rw", CDB_A, seed=5))
+        sid_b = service.submit(_request("tpcc", CDB_C, seed=6))
+        service.drain(timeout=300)
+        service.shutdown()
+        return service, service.status(sid_a), service.status(sid_b)
+
+    def test_two_concurrent_tenants_complete(self, tmp_path):
+        service, status_a, status_b = self._run_two_tenants(tmp_path, "run")
+        for status in (status_a, status_b):
+            assert status["state"] == SessionState.DEPLOYED
+            assert status["deployed"] is True
+            assert status["state_history"] == [
+                "SUBMITTED", "WARMUP", "TRAINING", "RECOMMENDED", "DEPLOYED"]
+            assert status["canary"]["accepted"] is True
+        assert status_a["tenant"] == "sysbench-rw@CDB-A"
+        assert status_b["tenant"] == "tpcc@CDB-C"
+        # Both models registered, each tenant has a live config.
+        assert len(service.registry) == 2
+        assert service.guard.deployed_config("sysbench-rw@CDB-A") is not None
+        assert service.guard.deployed_config("tpcc@CDB-C") is not None
+
+    def test_concurrent_sessions_deterministic_under_fixed_seed(self, tmp_path):
+        _, a1, b1 = self._run_two_tenants(tmp_path, "run1")
+        _, a2, b2 = self._run_two_tenants(tmp_path, "run2")
+        for first, second in ((a1, a2), (b1, b2)):
+            assert first["best_throughput"] == second["best_throughput"]
+            assert first["best_latency"] == second["best_latency"]
+            assert first["model_id"] == second["model_id"]
+            assert first["canary"] == second["canary"]
+
+    def test_warm_start_half_budget_reaches_cold_best(self, tmp_path):
+        service = _service(tmp_path)
+        cold_id = service.submit(_request("sysbench-rw", CDB_A, seed=5))
+        cold = service.wait(cold_id, timeout=300).status()
+        assert cold["warm_started_from"] is None
+        assert cold["train_budget"] == 12
+
+        # Same workload on resized hardware: within warm-start range.
+        warm_id = service.submit(_request("sysbench-rw", CDB_B, seed=5))
+        warm = service.wait(warm_id, timeout=300).status()
+        service.shutdown()
+        assert warm["warm_started_from"] == cold["model_id"]
+        assert warm["warm_start_distance"] == pytest.approx(
+            hardware_distance(CDB_A, CDB_B))
+        # ≤ half the cold budget, actually trained within it…
+        assert warm["train_budget"] == 6 <= cold["train_budget"] // 2
+        assert warm["train_steps_run"] <= warm["train_budget"]
+        # …and no worse than the donor's best (best_known_action carries
+        # the cold session's best configuration across the checkpoint).
+        assert warm["best_throughput"] >= cold["best_throughput"]
+        events = [r["event"] for r in service.audit.events(
+            session_id=warm_id)]
+        assert "warm-start" in events and "cold-start" not in events
+
+    def test_warm_start_skips_distant_workload(self, tmp_path):
+        service = _service(tmp_path)
+        first = service.wait(
+            service.submit(_request("sysbench-rw", CDB_A)), timeout=300)
+        assert first.deployed
+        other = service.wait(
+            service.submit(_request("tpcc", CDB_C, seed=6)), timeout=300)
+        service.shutdown()
+        assert other.status()["warm_started_from"] is None
+        assert other.status()["train_budget"] == 12
+
+    def test_blocked_deployment_marks_session_failed(self, tmp_path):
+        service = _service(tmp_path)
+        rejected = service.guard.canary(
+            SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                              noise=0.0, seed=0),
+            {**SimulatedDatabase(CDB_A, get_workload("sysbench-rw"),
+                                 noise=0.0, seed=0).default_config(),
+             **LETHAL_LOG_CONFIG})
+        service.guard.canary = lambda *args, **kwargs: rejected
+        sid = service.submit(_request())
+        session = service.wait(sid, timeout=300)
+        service.shutdown()
+        assert session.state == SessionState.FAILED
+        assert not session.deployed
+        assert "canary rejected: crash" in session.error
+        events = [r["event"] for r in service.audit.events(session_id=sid)]
+        assert "deployment-blocked" in events and "deployed" not in events
+        # The model is still registered as reusable knowledge.
+        assert session.model_id is not None
+        # The tenant stays on its seeded baseline.
+        assert (service.guard.deployed_config("sysbench-rw@CDB-A")
+                is not None)
+
+    def test_priority_order_with_deferred_start(self):
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner,
+                                autostart=False)
+        low = service.submit(_request(priority=0, train_steps=4))
+        high = service.submit(_request(priority=9, train_steps=4, seed=6))
+        mid = service.submit(_request(priority=3, train_steps=4, seed=7))
+        assert all(service.status(s)["state"] == SessionState.SUBMITTED
+                   for s in (low, high, mid))
+        service.start()
+        service.drain(timeout=300)
+        service.shutdown()
+        started = [r["session"] for r in service.audit.events(
+            event="started")]
+        assert started == [high, mid, low]
+
+    def test_shutdown_without_drain_cancels_queued(self):
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner,
+                                autostart=False)
+        queued = [service.submit(_request(train_steps=4, seed=i))
+                  for i in range(3)]
+        service.shutdown(drain=False)
+        for sid in queued:
+            status = service.status(sid)
+            assert status["state"] == SessionState.FAILED
+            assert status["error"] == "cancelled at shutdown"
+        with pytest.raises(RuntimeError, match="shutting down"):
+            service.submit(_request())
+
+    def test_worker_exception_fails_session_only(self):
+        def exploding_factory(request):
+            raise RuntimeError("no capacity")
+
+        service = TuningService(workers=1, tuner_factory=exploding_factory)
+        session = service.wait(service.submit(_request()), timeout=60)
+        assert session.state == SessionState.FAILED
+        assert "no capacity" in session.error
+        # The worker survives and serves the next session.
+        service.tuner_factory = _tiny_tuner
+        ok = service.wait(service.submit(_request(train_steps=4)),
+                          timeout=300)
+        service.shutdown()
+        assert ok.state == SessionState.DEPLOYED
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            _request(train_steps=0)
+        with pytest.raises(ValueError, match="unknown workload"):
+            _request(workload="no-such-workload")
+        assert _request().tenant == "sysbench-rw@CDB-A"
