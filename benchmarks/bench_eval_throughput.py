@@ -94,14 +94,17 @@ def run_offline_train() -> dict:
                                  probe_every=15, stop_on_convergence=False,
                                  workers=2)
     wall = time.perf_counter() - tick
+    counters = result.telemetry.counters
+    evaluations = counters.get("evaluations", 0)
+    cache_hits = counters.get("cache_hits", 0)
     return {
         "steps": result.steps,
         "wall_s": wall,
-        "evaluations": result.evaluations,
-        "cache_hits": result.cache_hits,
-        "cache_hit_rate": result.cache_hits / max(result.evaluations, 1),
+        "evaluations": evaluations,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": cache_hits / max(evaluations, 1),
         "phase_timings_s": {k: round(v, 4)
-                            for k, v in result.phase_timings.items()},
+                            for k, v in result.telemetry.phase_seconds.items()},
     }
 
 

@@ -19,16 +19,27 @@ Quickstart::
     print(result.best.throughput, result.best.latency)
 """
 
+from . import obs
 from .core.tuner import CDBTune
-from .core.pipeline import TrainingResult, TuningResult
+from .core.results import (
+    EvalRecord,
+    SessionReport,
+    Telemetry,
+    TrainingResult,
+    TuningResult,
+)
 from .dbsim.hardware import CDB_A, CDB_B, CDB_C, CDB_D, CDB_E, cdb_x1, cdb_x2
 from .dbsim.workload import get_workload
 from .dbsim.engine import SimulatedDatabase
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "obs",
     "CDBTune",
+    "EvalRecord",
+    "SessionReport",
+    "Telemetry",
     "TrainingResult",
     "TuningResult",
     "CDB_A",

@@ -14,10 +14,15 @@ from .parallel import EvalStats, ParallelEvaluator
 from .pipeline import (
     CONVERGENCE_THRESHOLD,
     CONVERGENCE_WINDOW,
-    TrainingResult,
-    TuningResult,
     offline_train,
     online_tune,
+)
+from .results import (
+    EvalRecord,
+    SessionReport,
+    Telemetry,
+    TrainingResult,
+    TuningResult,
 )
 from .tuner import CDBTune
 from .controller import Controller, RequestRecord
@@ -36,6 +41,9 @@ __all__ = [
     "ParallelEvaluator",
     "CONVERGENCE_THRESHOLD",
     "CONVERGENCE_WINDOW",
+    "EvalRecord",
+    "SessionReport",
+    "Telemetry",
     "TrainingResult",
     "TuningResult",
     "offline_train",

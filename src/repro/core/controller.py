@@ -22,11 +22,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List
 
 from .generator import WorkloadGenerator
-from .pipeline import TrainingResult, TuningResult
 from .recommender import Recommendation
+from .results import TrainingResult, TuningResult
 from .tuner import CDBTune
 from ..dbsim.hardware import HardwareSpec
 from ..dbsim.workload import WorkloadSpec, get_workload
+from ..obs import get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..service.server import TuningService, TuningSession
@@ -94,7 +95,11 @@ class Controller:
         """DBA-initiated offline training on a standard workload (§2.1.1)."""
         if isinstance(workload, str):
             workload = get_workload(workload)
-        result = self.tuner.offline_train(hardware, workload, **train_kwargs)
+        with get_tracer().span("controller.training_request",
+                               hardware=hardware.name,
+                               workload=workload.name):
+            result = self.tuner.offline_train(hardware, workload,
+                                              **train_kwargs)
         self.log.append(RequestRecord(
             kind="training", hardware=hardware.name, workload=workload.name,
             steps=result.steps))
@@ -116,11 +121,14 @@ class Controller:
         if not self.tuner.trained:
             raise RuntimeError(
                 "no offline-trained model; submit a training request first")
-        result = self.tuner.tune(hardware, workload, steps=steps,
-                                 initial_config=current_config,
-                                 **tune_kwargs)
-        recommendation = self.tuner.recommender.from_config(
-            result.best_config)
+        with get_tracer().span("controller.tuning_request",
+                               hardware=hardware.name,
+                               workload=workload.name):
+            result = self.tuner.tune(hardware, workload, steps=steps,
+                                     initial_config=current_config,
+                                     **tune_kwargs)
+            recommendation = self.tuner.recommender.from_config(
+                result.best_config)
         deployed = bool(self.license_callback(recommendation))
         self.log.append(RequestRecord(
             kind="tuning", hardware=hardware.name, workload=workload.name,
@@ -152,7 +160,10 @@ class Controller:
             workload = get_workload(workload)
         request = TuningRequest(hardware=hardware, workload=workload,
                                 **request_kwargs)
-        session_id = self.service.submit(request)
+        with get_tracer().span("controller.service_request",
+                               hardware=hardware.name,
+                               workload=workload.name):
+            session_id = self.service.submit(request)
         if not wait:
             return session_id
         session = self.service.wait(session_id, timeout)

@@ -19,6 +19,7 @@ import numpy as np
 from ..dbsim.engine import DatabaseObservation, SimulatedDatabase
 from ..dbsim.errors import DatabaseCrashError
 from ..dbsim.knobs import KnobRegistry
+from ..obs import get_metrics, get_tracer
 from ..rl.reward import CDBTuneReward, PerformanceSample, RewardFunction
 
 __all__ = ["StepResult", "TuningEnvironment"]
@@ -118,7 +119,8 @@ class TuningEnvironment:
         if initial_config is not None:
             config.update(self.database.registry.validate(initial_config))
         self._trial += 1
-        observation = self.database.evaluate(config, trial=self._trial)
+        with get_tracer().span("env.reset", trial=self._trial):
+            observation = self.database.evaluate(config, trial=self._trial)
         self.reward_function.reset(observation.performance)
         self.initial_performance = observation.performance
         self.best_performance = observation.performance
@@ -140,44 +142,53 @@ class TuningEnvironment:
             action, base=self.database.default_config())
         self._trial += 1
         self.steps += 1
-        try:
-            observation: DatabaseObservation | None = self.database.evaluate(
-                config, trial=self._trial)
-        except DatabaseCrashError:
-            observation = None
-            self.crashes += 1
+        metrics = get_metrics()
+        metrics.counter("env.steps").inc()
+        with get_tracer().span("env.step", trial=self._trial) as span:
+            try:
+                observation: DatabaseObservation | None = (
+                    self.database.evaluate(config, trial=self._trial))
+            except DatabaseCrashError:
+                observation = None
+                self.crashes += 1
+                metrics.counter("env.crashes").inc()
 
-        if observation is None:
-            reward = self.reward_function(None)
-            # The controller restarts the instance with defaults; the next
-            # state the agent sees is the restarted instance's state.  The
-            # restart is a fresh stress test, so it gets its own trial
-            # number (reusing the crashed attempt's trial would replay its
-            # noise stream), and the running configuration — and the reward
-            # function's trend baseline — now belong to the defaults, not
-            # to the crashed config.
-            self._trial += 1
-            restart_config = self.database.default_config()
-            restart = self.database.evaluate(restart_config,
-                                             trial=self._trial)
-            self.reward_function.observe_restart(restart.performance)
-            result = StepResult(state=restart.metrics, reward=reward,
-                                performance=None, crashed=True, config=config)
+            if observation is None:
+                reward = self.reward_function(None)
+                # The controller restarts the instance with defaults; the next
+                # state the agent sees is the restarted instance's state.  The
+                # restart is a fresh stress test, so it gets its own trial
+                # number (reusing the crashed attempt's trial would replay its
+                # noise stream), and the running configuration — and the reward
+                # function's trend baseline — now belong to the defaults, not
+                # to the crashed config.
+                self._trial += 1
+                restart_config = self.database.default_config()
+                restart = self.database.evaluate(restart_config,
+                                                 trial=self._trial)
+                self.reward_function.observe_restart(restart.performance)
+                result = StepResult(state=restart.metrics, reward=reward,
+                                    performance=None, crashed=True,
+                                    config=config)
+                span.set_tag("crashed", True)
+                span.set_tag("reward", round(reward, 4))
+                self.history.append(result)
+                self._current_config = restart_config
+                return result
+            else:
+                reward = self.reward_function(observation.performance)
+                if self._is_better(observation.performance):
+                    self.best_performance = observation.performance
+                    self.best_config = config
+                result = StepResult(
+                    state=observation.metrics, reward=reward,
+                    performance=observation.performance,
+                    crashed=False, config=config,
+                    info={"hit_ratio": observation.snapshot.hit_ratio})
+            span.set_tag("reward", round(reward, 4))
             self.history.append(result)
-            self._current_config = restart_config
+            self._current_config = config
             return result
-        else:
-            reward = self.reward_function(observation.performance)
-            if self._is_better(observation.performance):
-                self.best_performance = observation.performance
-                self.best_config = config
-            result = StepResult(state=observation.metrics, reward=reward,
-                                performance=observation.performance,
-                                crashed=False, config=config,
-                                info={"hit_ratio": observation.snapshot.hit_ratio})
-        self.history.append(result)
-        self._current_config = config
-        return result
 
     def best_action_vector(self) -> np.ndarray:
         """The best-so-far configuration as a normalized action vector."""

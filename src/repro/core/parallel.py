@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..dbsim.engine import DatabaseObservation, SimulatedDatabase
 from ..dbsim.errors import DatabaseCrashError
+from ..obs import get_metrics, get_tracer
 
 __all__ = ["EvalStats", "ParallelEvaluator"]
 
@@ -46,15 +47,22 @@ def _worker_noop(_: int) -> None:
 
 
 def _worker_evaluate(job: Tuple[object, int, bool]):
-    """Evaluate one (payload, trial, packed) job on the worker's replica."""
+    """Evaluate one (payload, trial, packed) job on the worker's replica.
+
+    Returns ``(status, payload, worker_s)`` — the third element is the
+    seconds the worker actually spent simulating, so the master can split
+    batch wall-clock into worker time vs. queue/IPC wait.
+    """
     payload, trial, packed = job
     assert _WORKER_DB is not None, "worker pool not initialized"
     config = (_WORKER_DB.registry.unpack_values(payload) if packed
               else payload)
+    tick = time.perf_counter()
     try:
-        return ("ok", _WORKER_DB.evaluate(config, trial=trial))
+        observation = _WORKER_DB.evaluate(config, trial=trial)
+        return ("ok", observation, time.perf_counter() - tick)
     except DatabaseCrashError as error:
-        return ("crash", str(error))
+        return ("crash", str(error), time.perf_counter() - tick)
 
 
 @dataclass
@@ -67,6 +75,7 @@ class EvalStats:
     dispatched: int = 0         # actually simulated (pool or serial)
     crashes: int = 0
     wall_s: float = 0.0
+    worker_s: float = 0.0       # seconds workers spent simulating
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -78,7 +87,7 @@ class EvalStats:
             "batches": self.batches, "requests": self.requests,
             "cache_hits": self.cache_hits, "dispatched": self.dispatched,
             "crashes": self.crashes, "wall_s": self.wall_s,
-            "hit_rate": self.hit_rate,
+            "worker_s": self.worker_s, "hit_rate": self.hit_rate,
             "phase_wall_s": dict(self.phase_wall_s),
         }
 
@@ -196,79 +205,109 @@ class ParallelEvaluator:
                       else list(range(start_trial, start_trial + len(configs))))
         if len(trial_list) != len(configs):
             raise ValueError("trials must match configs in length")
-        tick = time.perf_counter()
-        jobs = [(db.registry.validate(dict(config)), int(trial))
-                for config, trial in zip(configs, trial_list)]
-        results: List[DatabaseObservation | None] = [None] * len(jobs)
-        canonical = db.registry.canonical_items
-        keys = [(trial, canonical(config)) for config, trial in jobs]
-        pending: List[int] = []
-        first_seen: Dict[Tuple[int, Tuple], int] = {}
-        dup_of: Dict[int, int] = {}
-        for i, key in enumerate(keys):
-            cached = db.cache_peek(key) if db.cache_size > 0 else None
-            if cached is not None:
+        metrics = get_metrics()
+        span = get_tracer().span("parallel.batch", requests=len(configs),
+                                 workers=self.pool_size)
+        with span:
+            tick = time.perf_counter()
+            worker_busy = 0.0
+            jobs = [(db.registry.validate(dict(config)), int(trial))
+                    for config, trial in zip(configs, trial_list)]
+            results: List[DatabaseObservation | None] = [None] * len(jobs)
+            canonical = db.registry.canonical_items
+            keys = [(trial, canonical(config)) for config, trial in jobs]
+            pending: List[int] = []
+            first_seen: Dict[Tuple[int, Tuple], int] = {}
+            dup_of: Dict[int, int] = {}
+            for i, key in enumerate(keys):
+                cached = db.cache_peek(key) if db.cache_size > 0 else None
+                if cached is not None:
+                    db.evaluations += 1
+                    db.cache_hits += 1
+                    self.stats.cache_hits += 1
+                    metrics.counter("parallel.cache_hits").inc()
+                    results[i] = None if isinstance(cached, str) else cached
+                elif db.cache_size > 0 and key in first_seen:
+                    # Duplicate within the batch: a serial run would have hit
+                    # the cache here, so dispatch only the first occurrence.
+                    dup_of[i] = first_seen[key]
+                else:
+                    first_seen[key] = i
+                    pending.append(i)
+
+            pool = self._ensure_pool() if pending else None
+            pooled = False
+            if pool is not None:
+                chunksize = self.chunksize or max(
+                    1, -(-len(pending) // (2 * self.pool_size)))
+                try:
+                    outcomes = list(pool.map(
+                        _worker_evaluate,
+                        [self._encode_job(*jobs[i]) for i in pending],
+                        chunksize=chunksize))
+                except (OSError, MemoryError, RuntimeError):
+                    self._pool_broken = True
+                    self.close()
+                    outcomes = None
+                if outcomes is not None:
+                    pooled = True
+                    for i, (status, payload, worker_s) in zip(pending,
+                                                              outcomes):
+                        db.evaluations += 1
+                        db.stress_tests += 1
+                        self.stats.dispatched += 1
+                        worker_busy += worker_s
+                        metrics.histogram(
+                            "parallel.worker_seconds").observe(worker_s)
+                        if status == "crash":
+                            db.cache_put(keys[i], payload)
+                            results[i] = None
+                            self.stats.crashes += 1
+                        else:
+                            db.cache_put(keys[i], payload)
+                            results[i] = payload
+                    pending = []
+
+            for i in pending:  # serial path (fallback or workers <= 1)
+                config, trial = jobs[i]
+                self.stats.dispatched += 1
+                job_tick = time.perf_counter()
+                try:
+                    results[i] = db.evaluate(config, trial=trial)
+                except DatabaseCrashError:
+                    results[i] = None
+                    self.stats.crashes += 1
+                job_s = time.perf_counter() - job_tick
+                worker_busy += job_s
+                metrics.histogram("parallel.worker_seconds").observe(job_s)
+
+            for i, j in dup_of.items():  # duplicates resolve as cache hits
                 db.evaluations += 1
                 db.cache_hits += 1
                 self.stats.cache_hits += 1
-                results[i] = None if isinstance(cached, str) else cached
-            elif db.cache_size > 0 and key in first_seen:
-                # Duplicate within the batch: a serial run would have hit
-                # the cache here, so dispatch only the first occurrence.
-                dup_of[i] = first_seen[key]
-            else:
-                first_seen[key] = i
-                pending.append(i)
+                metrics.counter("parallel.cache_hits").inc()
+                results[i] = results[j]
 
-        pool = self._ensure_pool() if pending else None
-        if pool is not None:
-            chunksize = self.chunksize or max(
-                1, -(-len(pending) // (2 * self.pool_size)))
-            try:
-                outcomes = list(pool.map(
-                    _worker_evaluate,
-                    [self._encode_job(*jobs[i]) for i in pending],
-                    chunksize=chunksize))
-            except (OSError, MemoryError, RuntimeError):
-                self._pool_broken = True
-                self.close()
-                outcomes = None
-            if outcomes is not None:
-                for i, (status, payload) in zip(pending, outcomes):
-                    db.evaluations += 1
-                    db.stress_tests += 1
-                    self.stats.dispatched += 1
-                    if status == "crash":
-                        db.cache_put(keys[i], payload)
-                        results[i] = None
-                        self.stats.crashes += 1
-                    else:
-                        db.cache_put(keys[i], payload)
-                        results[i] = payload
-                pending = []
-
-        for i in pending:  # serial path (fallback or workers <= 1)
-            config, trial = jobs[i]
-            self.stats.dispatched += 1
-            try:
-                results[i] = db.evaluate(config, trial=trial)
-            except DatabaseCrashError:
-                results[i] = None
-                self.stats.crashes += 1
-
-        for i, j in dup_of.items():  # duplicates resolve as cache hits
-            db.evaluations += 1
-            db.cache_hits += 1
-            self.stats.cache_hits += 1
-            results[i] = results[j]
-
-        elapsed = time.perf_counter() - tick
-        self.stats.batches += 1
-        self.stats.requests += len(jobs)
-        self.stats.wall_s += elapsed
-        if phase is not None:
-            self.stats.phase_wall_s[phase] = (
-                self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+            elapsed = time.perf_counter() - tick
+            self.stats.batches += 1
+            self.stats.requests += len(jobs)
+            self.stats.wall_s += elapsed
+            self.stats.worker_s += worker_busy
+            if phase is not None:
+                self.stats.phase_wall_s[phase] = (
+                    self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+            metrics.histogram("parallel.batch_seconds").observe(elapsed)
+            # Queue/IPC wait: wall-clock the batch spent beyond what the
+            # simulations themselves cost (normalized to the lanes used).
+            lanes = self.pool_size if pooled else 1
+            metrics.histogram("parallel.queue_wait_seconds").observe(
+                max(0.0, elapsed - worker_busy / lanes))
+            if elapsed > 0 and self.stats.dispatched:
+                metrics.gauge("parallel.utilization").set(
+                    min(1.0, worker_busy / (elapsed * lanes)))
+            span.set_tag("cache_hits", len(configs) - len(first_seen))
+            span.set_tag("dispatched", len(first_seen))
+            span.set_tag("worker_s", round(worker_busy, 4))
         return results
 
     def prefetch(self, jobs: Sequence[Tuple[Mapping[str, float], int]],
@@ -285,53 +324,67 @@ class ParallelEvaluator:
         db = self.database
         if db.cache_size <= 0 or not jobs:
             return 0
-        tick = time.perf_counter()
-        validated = [(db.registry.validate(dict(config)), int(trial))
-                     for config, trial in jobs]
-        todo = []
-        seen = set()
-        for config, trial in validated:
-            key = (trial, db.registry.canonical_items(config))
-            if key in seen or db.cache_peek(key) is not None:
-                continue
-            seen.add(key)
-            todo.append((config, trial))
-        ran = 0
-        pool = self._ensure_pool() if todo else None
-        if pool is not None:
-            chunksize = self.chunksize or max(
-                1, -(-len(todo) // (2 * self.pool_size)))
-            try:
-                outcomes = list(pool.map(
-                    _worker_evaluate,
-                    [self._encode_job(config, trial)
-                     for config, trial in todo],
-                    chunksize=chunksize))
-            except (OSError, MemoryError, RuntimeError):
-                self._pool_broken = True
-                self.close()
-                outcomes = None
-            if outcomes is not None:
-                for (config, trial), (status, payload) in zip(todo, outcomes):
-                    key = (trial, db.registry.canonical_items(config))
-                    db.cache_put(key, payload)
-                    db.stress_tests += 1
-                    if status == "crash":
-                        self.stats.crashes += 1
-                ran = len(todo)
-                todo = []
-        for config, trial in todo:  # serial fallback: evaluate() caches
-            try:
-                db.evaluate(config, trial=trial)
-            except DatabaseCrashError:
-                self.stats.crashes += 1
-            # evaluate() bumped the request counter for what is really a
-            # background warm-up, not a consumer request; undo that.
-            db.evaluations -= 1
-            ran += 1
-        elapsed = time.perf_counter() - tick
-        self.stats.dispatched += ran
-        self.stats.wall_s += elapsed
-        self.stats.phase_wall_s[phase] = (
-            self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+        metrics = get_metrics()
+        span = get_tracer().span("parallel.prefetch", requests=len(jobs),
+                                 workers=self.pool_size)
+        with span:
+            tick = time.perf_counter()
+            worker_busy = 0.0
+            validated = [(db.registry.validate(dict(config)), int(trial))
+                         for config, trial in jobs]
+            todo = []
+            seen = set()
+            for config, trial in validated:
+                key = (trial, db.registry.canonical_items(config))
+                if key in seen or db.cache_peek(key) is not None:
+                    continue
+                seen.add(key)
+                todo.append((config, trial))
+            ran = 0
+            pool = self._ensure_pool() if todo else None
+            if pool is not None:
+                chunksize = self.chunksize or max(
+                    1, -(-len(todo) // (2 * self.pool_size)))
+                try:
+                    outcomes = list(pool.map(
+                        _worker_evaluate,
+                        [self._encode_job(config, trial)
+                         for config, trial in todo],
+                        chunksize=chunksize))
+                except (OSError, MemoryError, RuntimeError):
+                    self._pool_broken = True
+                    self.close()
+                    outcomes = None
+                if outcomes is not None:
+                    for (config, trial), (status, payload,
+                                          worker_s) in zip(todo, outcomes):
+                        key = (trial, db.registry.canonical_items(config))
+                        db.cache_put(key, payload)
+                        db.stress_tests += 1
+                        worker_busy += worker_s
+                        metrics.histogram(
+                            "parallel.worker_seconds").observe(worker_s)
+                        if status == "crash":
+                            self.stats.crashes += 1
+                    ran = len(todo)
+                    todo = []
+            for config, trial in todo:  # serial fallback: evaluate() caches
+                job_tick = time.perf_counter()
+                try:
+                    db.evaluate(config, trial=trial)
+                except DatabaseCrashError:
+                    self.stats.crashes += 1
+                worker_busy += time.perf_counter() - job_tick
+                # evaluate() bumped the request counter for what is really a
+                # background warm-up, not a consumer request; undo that.
+                db.evaluations -= 1
+                ran += 1
+            elapsed = time.perf_counter() - tick
+            self.stats.dispatched += ran
+            self.stats.wall_s += elapsed
+            self.stats.worker_s += worker_busy
+            self.stats.phase_wall_s[phase] = (
+                self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+            span.set_tag("dispatched", ran)
+            span.set_tag("worker_s", round(worker_busy, 4))
         return ran

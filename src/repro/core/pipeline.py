@@ -8,17 +8,23 @@
   the user's current knobs, run at most 5 recommendation steps (§2.1.2)
   while fine-tuning the pre-trained model, and return the configuration
   with the best observed performance.
+
+Both pipelines are instrumented through :mod:`repro.obs`: one root span
+per run with child spans per phase (prefetch, episode, probe, distill, the
+per-step actor/critic update), per-phase histograms, and a
+:class:`~repro.core.results.Telemetry` block on every result.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List
 
 import numpy as np
 
 from .environment import StepResult, TuningEnvironment
+from .results import EvalRecord, Telemetry, TrainingResult, TuningResult
+from ..obs import get_tracer, profile_block
 from ..rl.ddpg import DDPGAgent
 from ..rl.reward import PerformanceSample
 
@@ -26,6 +32,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .parallel import ParallelEvaluator
 
 __all__ = [
+    "EvalRecord",
+    "Telemetry",
     "TrainingResult",
     "TuningResult",
     "offline_train",
@@ -34,54 +42,6 @@ __all__ = [
 
 CONVERGENCE_THRESHOLD = 0.005   # paper: 0.5 % change
 CONVERGENCE_WINDOW = 5          # over five consecutive probes
-
-
-@dataclass
-class TrainingResult:
-    """Offline-training trace."""
-
-    steps: int
-    episodes: int
-    converged: bool
-    iterations_to_convergence: int | None
-    rewards: List[float] = field(default_factory=list)
-    probe_throughputs: List[float] = field(default_factory=list)
-    probe_latencies: List[float] = field(default_factory=list)
-    crashes: int = 0
-    best_probe: PerformanceSample | None = None
-    # Lightweight run accounting: stress tests issued, cache hits observed
-    # and wall-clock seconds spent, per training phase.
-    evaluations: int = 0
-    cache_hits: int = 0
-    phase_timings: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def final_probe(self) -> PerformanceSample | None:
-        if not self.probe_throughputs:
-            return None
-        return PerformanceSample(throughput=self.probe_throughputs[-1],
-                                 latency=self.probe_latencies[-1])
-
-
-@dataclass
-class TuningResult:
-    """Online-tuning outcome for one request."""
-
-    initial: PerformanceSample
-    best: PerformanceSample
-    best_config: Dict[str, float]
-    steps: int
-    history: List[StepResult] = field(default_factory=list)
-
-    @property
-    def throughput_improvement(self) -> float:
-        return (self.best.throughput - self.initial.throughput) / max(
-            self.initial.throughput, 1e-9)
-
-    @property
-    def latency_improvement(self) -> float:
-        return (self.initial.latency - self.best.latency) / max(
-            self.initial.latency, 1e-9)
 
 
 def _greedy_probe(env: TuningEnvironment, agent: DDPGAgent) -> StepResult:
@@ -184,9 +144,12 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
     """
     if max_steps <= 0 or episode_length <= 0:
         raise ValueError("max_steps and episode_length must be positive")
+    tracer = get_tracer()
     database = env.database
     evaluations_before = database.evaluations
     cache_hits_before = database.cache_hits
+    stress_tests_before = database.stress_tests
+    crashes_before = env.crashes
     phase_timings: Dict[str, float] = {
         "prefetch": 0.0, "reset": 0.0, "warmup": 0.0, "train": 0.0,
         "probe": 0.0, "distill": 0.0,
@@ -199,11 +162,6 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
     steps = 0
     warmup_plan = _latin_hypercube(agent.rng, max(warmup_steps, 1),
                                    env.action_dim)
-    if evaluator is not None and warmup_steps > 0:
-        tick = time.perf_counter()
-        _prefetch_warmup(env, warmup_plan, min(warmup_steps, max_steps),
-                         episode_length, evaluator)
-        phase_timings["prefetch"] += time.perf_counter() - tick
     # Best configuration seen across the whole run (env.best_config only
     # spans one episode); this anchors the exploit-around-best moves.
     global_best_vector: np.ndarray | None = None
@@ -250,132 +208,162 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
             _maybe_snapshot(probe.performance)
 
     def _finish(converged: bool) -> TrainingResult:
-        tick = time.perf_counter()
-        _distill()
-        phase_timings["distill"] += time.perf_counter() - tick
+        with tracer.span("offline_train.distill"), \
+                profile_block("offline_train.distill",
+                              phases=phase_timings, phase_key="distill"):
+            _distill()
         if restore_best and best_snapshot is not None:
             agent_state, normalizer_state = best_snapshot
             agent.load_state_dict(agent_state)
             if normalizer_state is not None and agent.state_normalizer is not None:
                 agent.state_normalizer.load_state_dict(normalizer_state)
+        telemetry = Telemetry(trace_id=tracer.current_trace_id())
+        telemetry.count("evaluations",
+                        database.evaluations - evaluations_before)
+        telemetry.count("cache_hits", database.cache_hits - cache_hits_before)
+        telemetry.count("stress_tests",
+                        database.stress_tests - stress_tests_before)
+        telemetry.count("crashes", env.crashes - crashes_before)
+        telemetry.count("agent_updates", agent.train_steps)
+        for phase, seconds in phase_timings.items():
+            telemetry.add_phase(phase, seconds)
         return TrainingResult(
             steps=steps, episodes=episodes, converged=converged,
             iterations_to_convergence=converged_at, rewards=rewards,
             probe_throughputs=probe_throughputs,
             probe_latencies=probe_latencies, crashes=env.crashes,
-            best_probe=best_probe,
-            evaluations=database.evaluations - evaluations_before,
-            cache_hits=database.cache_hits - cache_hits_before,
-            phase_timings=dict(phase_timings))
+            best_probe=best_probe, telemetry=telemetry)
 
-    while steps < max_steps:
-        episodes += 1
-        tick = time.perf_counter()
-        state = env.reset()
-        phase_timings["reset"] += time.perf_counter() - tick
-        _update_normalizer(agent, state)
-        agent.reset_noise()
-        for _ in range(episode_length):
-            if steps >= max_steps:
-                break
-            tick = time.perf_counter()
-            if steps < warmup_steps:
-                action = warmup_plan[steps]
-            elif (global_best_vector is not None
-                    and agent.rng.random() < exploit_frac):
-                # DBA-style move: adjust a handful of knobs of the best
-                # configuration (isotropic perturbation of all 266 knobs
-                # almost never improves a sharply-tuned config).  Half the
-                # moves pick coordinates by the critic's |∇_a Q| — the
-                # learned knob importance of §5.2.2 — and step along the
-                # gradient sign; the rest explore random coordinates.
-                action = global_best_vector.copy()
-                exploit_moves += 1
-                n_coords = int(agent.rng.integers(
-                    1, min(13, env.action_dim + 1)))
-                move_kind = agent.rng.random()
-                if move_kind < 0.5:
-                    # Line search.  Most probes target the knobs the critic
-                    # currently ranks important (|∇aQ|, the learned knob
-                    # importance of §5.2.2) so the impactful knobs get
-                    # several probes per run; the rest round-robin the full
-                    # catalog so nothing is starved.
-                    if exploit_moves % 40 == 0 and agent.train_steps > 0:
-                        grad = agent.action_gradient(state,
-                                                     global_best_vector)
-                        k = min(48, env.action_dim)
-                        focus_coords = np.argsort(np.abs(grad))[::-1][:k]
-                    if (focus_coords is not None
-                            and agent.rng.random() < 0.7):
-                        coord = int(agent.rng.choice(focus_coords))
-                    else:
-                        coord = exploit_moves % env.action_dim
-                    action[coord] = agent.rng.random()
-                elif move_kind < 0.75 and agent.train_steps > 0:
-                    grad = agent.action_gradient(state, action)
-                    order = np.argsort(np.abs(grad))[::-1]
-                    coords = order[:n_coords]
-                    step = (0.08 * np.sign(grad[coords])
-                            + 0.05 * agent.rng.standard_normal(n_coords))
-                    action[coords] = np.clip(action[coords] + step, 0.0, 1.0)
-                else:
-                    coords = agent.rng.choice(env.action_dim, size=n_coords,
-                                              replace=False)
-                    fresh = agent.rng.random(n_coords) < 0.3
-                    action[coords] = np.where(
-                        fresh,
-                        agent.rng.random(n_coords),
-                        np.clip(action[coords]
-                                + 0.2 * agent.rng.standard_normal(n_coords),
-                                0.0, 1.0))
-            else:
-                action = agent.act(state, explore=True)
-            result = env.step(action)
-            if result.crashed:
-                # The instance restarted with defaults: the correlated
-                # exploration noise was walking a region that just crashed,
-                # so start a fresh noise sequence for the fresh instance.
-                agent.reset_noise()
-            if result.performance is not None:
-                step_score = (result.performance.throughput
-                              / max(result.performance.latency, 1e-9) ** 0.25)
-                if step_score > global_best_score:
-                    global_best_score = step_score
-                    global_best_vector = action.copy()
-                    agent.best_known_action = action.copy()
-            _update_normalizer(agent, result.state)
-            agent.observe(state, action, result.reward, result.state,
-                          done=result.crashed)
-            for _ in range(updates_per_step):
-                agent.update()
-            if global_best_vector is not None and steps % 2 == 0:
-                agent.imitate(state, global_best_vector)
-            rewards.append(result.reward)
-            state = result.state
-            steps += 1
-            phase_timings["warmup" if steps <= warmup_steps else "train"] += (
-                time.perf_counter() - tick)
-
-            if steps % probe_every == 0:
+    with tracer.span("offline_train", max_steps=max_steps,
+                     episode_length=episode_length,
+                     warmup_steps=warmup_steps) as run_span:
+        if evaluator is not None and warmup_steps > 0:
+            with tracer.span("offline_train.prefetch"), \
+                    profile_block("offline_train.prefetch",
+                                  phases=phase_timings, phase_key="prefetch"):
+                _prefetch_warmup(env, warmup_plan,
+                                 min(warmup_steps, max_steps),
+                                 episode_length, evaluator)
+        while steps < max_steps:
+            episodes += 1
+            with tracer.span("offline_train.episode", episode=episodes), \
+                    profile_block("offline_train.reset",
+                                  phases=phase_timings, phase_key="reset"):
+                state = env.reset()
+            _update_normalizer(agent, state)
+            agent.reset_noise()
+            for _ in range(episode_length):
+                if steps >= max_steps:
+                    break
                 tick = time.perf_counter()
-                probe = _greedy_probe(env, agent)
-                phase_timings["probe"] += time.perf_counter() - tick
-                perf = probe.performance
-                if perf is None:  # greedy policy crashed the instance
-                    probe_throughputs.append(0.0)
-                    probe_latencies.append(float("inf"))
+                if steps < warmup_steps:
+                    action = warmup_plan[steps]
+                elif (global_best_vector is not None
+                        and agent.rng.random() < exploit_frac):
+                    # DBA-style move: adjust a handful of knobs of the best
+                    # configuration (isotropic perturbation of all 266 knobs
+                    # almost never improves a sharply-tuned config).  Half the
+                    # moves pick coordinates by the critic's |∇_a Q| — the
+                    # learned knob importance of §5.2.2 — and step along the
+                    # gradient sign; the rest explore random coordinates.
+                    action = global_best_vector.copy()
+                    exploit_moves += 1
+                    n_coords = int(agent.rng.integers(
+                        1, min(13, env.action_dim + 1)))
+                    move_kind = agent.rng.random()
+                    if move_kind < 0.5:
+                        # Line search.  Most probes target the knobs the critic
+                        # currently ranks important (|∇aQ|, the learned knob
+                        # importance of §5.2.2) so the impactful knobs get
+                        # several probes per run; the rest round-robin the full
+                        # catalog so nothing is starved.
+                        if exploit_moves % 40 == 0 and agent.train_steps > 0:
+                            grad = agent.action_gradient(state,
+                                                         global_best_vector)
+                            k = min(48, env.action_dim)
+                            focus_coords = np.argsort(np.abs(grad))[::-1][:k]
+                        if (focus_coords is not None
+                                and agent.rng.random() < 0.7):
+                            coord = int(agent.rng.choice(focus_coords))
+                        else:
+                            coord = exploit_moves % env.action_dim
+                        action[coord] = agent.rng.random()
+                    elif move_kind < 0.75 and agent.train_steps > 0:
+                        grad = agent.action_gradient(state, action)
+                        order = np.argsort(np.abs(grad))[::-1]
+                        coords = order[:n_coords]
+                        step = (0.08 * np.sign(grad[coords])
+                                + 0.05 * agent.rng.standard_normal(n_coords))
+                        action[coords] = np.clip(action[coords] + step,
+                                                 0.0, 1.0)
+                    else:
+                        coords = agent.rng.choice(env.action_dim,
+                                                  size=n_coords,
+                                                  replace=False)
+                        fresh = agent.rng.random(n_coords) < 0.3
+                        action[coords] = np.where(
+                            fresh,
+                            agent.rng.random(n_coords),
+                            np.clip(action[coords]
+                                    + 0.2 * agent.rng.standard_normal(n_coords),
+                                    0.0, 1.0))
                 else:
-                    probe_throughputs.append(perf.throughput)
-                    probe_latencies.append(perf.latency)
-                _maybe_snapshot(perf)
-                if converged_at is None and _has_converged(
-                        probe_throughputs, convergence_threshold,
-                        convergence_window):
-                    converged_at = steps
-                    if stop_on_convergence:
-                        return _finish(True)
+                    action = agent.act(state, explore=True)
+                result = env.step(action)
+                if result.crashed:
+                    # The instance restarted with defaults: the correlated
+                    # exploration noise was walking a region that just crashed,
+                    # so start a fresh noise sequence for the fresh instance.
+                    agent.reset_noise()
+                if result.performance is not None:
+                    step_score = (result.performance.throughput
+                                  / max(result.performance.latency,
+                                        1e-9) ** 0.25)
+                    if step_score > global_best_score:
+                        global_best_score = step_score
+                        global_best_vector = action.copy()
+                        agent.best_known_action = action.copy()
+                _update_normalizer(agent, result.state)
+                agent.observe(state, action, result.reward, result.state,
+                              done=result.crashed)
+                with tracer.span("offline_train.update",
+                                 updates=updates_per_step):
+                    for _ in range(updates_per_step):
+                        agent.update()
+                    if global_best_vector is not None and steps % 2 == 0:
+                        agent.imitate(state, global_best_vector)
+                rewards.append(result.reward)
+                state = result.state
+                steps += 1
+                phase = "warmup" if steps <= warmup_steps else "train"
+                phase_timings[phase] += time.perf_counter() - tick
 
-    return _finish(converged_at is not None)
+                if steps % probe_every == 0:
+                    with tracer.span("offline_train.probe", step=steps), \
+                            profile_block("offline_train.probe",
+                                          phases=phase_timings,
+                                          phase_key="probe"):
+                        probe = _greedy_probe(env, agent)
+                    perf = probe.performance
+                    if perf is None:  # greedy policy crashed the instance
+                        probe_throughputs.append(0.0)
+                        probe_latencies.append(float("inf"))
+                    else:
+                        probe_throughputs.append(perf.throughput)
+                        probe_latencies.append(perf.latency)
+                    _maybe_snapshot(perf)
+                    if converged_at is None and _has_converged(
+                            probe_throughputs, convergence_threshold,
+                            convergence_window):
+                        converged_at = steps
+                        if stop_on_convergence:
+                            run_span.set_tag("steps", steps)
+                            run_span.set_tag("converged", True)
+                            return _finish(True)
+
+        run_span.set_tag("steps", steps)
+        run_span.set_tag("converged", converged_at is not None)
+        return _finish(converged_at is not None)
 
 
 def _has_converged(throughputs: List[float], threshold: float,
@@ -403,50 +391,81 @@ def online_tune(env: TuningEnvironment, agent: DDPGAgent, steps: int = 5,
     """
     if steps <= 0:
         raise ValueError("steps must be positive")
-    state = env.reset(initial_config=initial_config)
-    _update_normalizer(agent, state)
-    assert env.initial_performance is not None
-    initial = env.initial_performance
+    tracer = get_tracer()
+    database = env.database
+    evaluations_before = database.evaluations
+    cache_hits_before = database.cache_hits
+    phase_timings: Dict[str, float] = {}
+    with tracer.span("online_tune", steps=steps,
+                     fine_tune=fine_tune) as run_span:
+        with profile_block("online_tune.reset", phases=phase_timings,
+                           phase_key="reset"):
+            state = env.reset(initial_config=initial_config)
+        _update_normalizer(agent, state)
+        assert env.initial_performance is not None
+        initial = env.initial_performance
 
-    best_known = agent.best_known_action
-    session_best = (best_known.copy() if best_known is not None
-                    and best_known.size == env.action_dim else None)
-    session_best_score = -np.inf
-    for step_index in range(steps):
-        if session_best is not None and step_index == 0:
-            # Measure the memory pool's best-known configuration first so
-            # the session baseline is real before anything can displace it.
-            action = session_best.copy()
-        elif session_best is not None and step_index >= 2:
-            # Greedy local refinement around the session's best so far —
-            # the fine-tuning the paper's accumulated trying steps perform.
-            action = session_best.copy()
-            coords = agent.rng.choice(env.action_dim,
-                                      size=min(4, env.action_dim),
-                                      replace=False)
-            action[coords] = np.clip(
-                action[coords]
-                + 0.08 * agent.rng.standard_normal(coords.size),
-                0.0, 1.0)
-        else:
-            action = agent.act(state, explore=explore)
-        result = env.step(action)
-        if result.performance is not None:
-            score = (result.performance.throughput
-                     / max(result.performance.latency, 1e-9) ** 0.25)
-            if score > session_best_score:
-                session_best_score = score
-                session_best = action.copy()
-        _update_normalizer(agent, result.state)
-        if fine_tune:
-            agent.observe(state, action, result.reward, result.state,
-                          done=result.crashed)
-            for _ in range(updates_per_step):
-                agent.update()
-        state = result.state
+        best_known = agent.best_known_action
+        session_best = (best_known.copy() if best_known is not None
+                        and best_known.size == env.action_dim else None)
+        session_best_score = -np.inf
+        step_walls: List[float] = []
+        for step_index in range(steps):
+            tick = time.perf_counter()
+            if session_best is not None and step_index == 0:
+                # Measure the memory pool's best-known configuration first so
+                # the session baseline is real before anything can displace it.
+                action = session_best.copy()
+            elif session_best is not None and step_index >= 2:
+                # Greedy local refinement around the session's best so far —
+                # the fine-tuning the paper's accumulated trying steps perform.
+                action = session_best.copy()
+                coords = agent.rng.choice(env.action_dim,
+                                          size=min(4, env.action_dim),
+                                          replace=False)
+                action[coords] = np.clip(
+                    action[coords]
+                    + 0.08 * agent.rng.standard_normal(coords.size),
+                    0.0, 1.0)
+            else:
+                action = agent.act(state, explore=explore)
+            result = env.step(action)
+            if result.performance is not None:
+                score = (result.performance.throughput
+                         / max(result.performance.latency, 1e-9) ** 0.25)
+                if score > session_best_score:
+                    session_best_score = score
+                    session_best = action.copy()
+            _update_normalizer(agent, result.state)
+            if fine_tune:
+                with tracer.span("online_tune.update",
+                                 updates=updates_per_step):
+                    agent.observe(state, action, result.reward, result.state,
+                                  done=result.crashed)
+                    for _ in range(updates_per_step):
+                        agent.update()
+            state = result.state
+            step_walls.append(time.perf_counter() - tick)
+            phase_timings["steps"] = (phase_timings.get("steps", 0.0)
+                                      + step_walls[-1])
 
-    best = env.best_performance
-    best_config = env.best_config
-    assert best is not None and best_config is not None
-    return TuningResult(initial=initial, best=best, best_config=best_config,
-                        steps=steps, history=list(env.history))
+        best = env.best_performance
+        best_config = env.best_config
+        assert best is not None and best_config is not None
+        telemetry = Telemetry(trace_id=tracer.current_trace_id())
+        telemetry.count("evaluations",
+                        database.evaluations - evaluations_before)
+        telemetry.count("cache_hits", database.cache_hits - cache_hits_before)
+        telemetry.count("crashes",
+                        sum(1 for s in env.history if s.crashed))
+        for phase, seconds in phase_timings.items():
+            telemetry.add_phase(phase, seconds)
+        records = [EvalRecord.from_step(s, wall_s=w)
+                   for s, w in zip(env.history, step_walls)]
+        run_span.set_tag("best_throughput", best.throughput)
+        run_span.set_tag("improvement",
+                         (best.throughput - initial.throughput)
+                         / max(initial.throughput, 1e-9))
+        return TuningResult(initial=initial, best=best,
+                            best_config=best_config, steps=steps,
+                            records=records, telemetry=telemetry)

@@ -38,6 +38,7 @@ from .logsystem import LogConfig, crashes_disk, evaluate_log
 from .metrics import EngineSnapshot, metrics_vector
 from .mysql_knobs import MAJOR_KNOBS, mysql_registry
 from .workload import WorkloadSpec
+from ..obs import get_metrics, get_tracer, profile_block
 from ..rl.reward import PerformanceSample
 
 __all__ = ["DatabaseObservation", "SimulatedDatabase"]
@@ -191,6 +192,8 @@ class SimulatedDatabase:
         of the same configuration; repeating an identical (config, trial)
         pair is answered from the LRU cache without a new stress test.
         """
+        metrics = get_metrics()
+        metrics.counter("db.evaluate.requests").inc()
         config = self.registry.validate(dict(config))
         if self.cache_size > 0:
             key = (int(trial), self.registry.canonical_items(config))
@@ -198,12 +201,17 @@ class SimulatedDatabase:
             if cached is not None:
                 self.evaluations += 1
                 self.cache_hits += 1
+                metrics.counter("db.evaluate.cache_hits").inc()
                 if isinstance(cached, str):  # memoized crash
+                    metrics.counter("db.evaluate.crashes").inc()
                     raise DatabaseCrashError(cached)
                 return cached
         try:
-            observation = self._evaluate_uncached(config, trial)
+            with get_tracer().span("db.stress_test", trial=int(trial)), \
+                    profile_block("db.stress_test_seconds"):
+                observation = self._evaluate_uncached(config, trial)
         except DatabaseCrashError as error:
+            metrics.counter("db.evaluate.crashes").inc()
             if self.cache_size > 0:
                 self.cache_put(key, str(error))
             raise

@@ -6,30 +6,48 @@ Usage::
     python -m repro.experiments fig1d
     python -m repro.experiments fig9 --scale smoke --seed 3
     python -m repro.experiments all --scale bench
+    python -m repro.experiments fig9 --trace /tmp/fig9.jsonl
+    python -m repro.experiments obs-report /tmp/fig9.jsonl
 
 Each experiment id maps to the driver in :data:`repro.experiments.EXPERIMENTS`
 (see DESIGN.md for the per-figure index).  Results print as paper-style
 tables where the driver provides one, else as a repr.
+
+``obs-report`` renders a trace captured with ``--trace`` (span tree plus
+metrics summary); ``--metrics-out`` additionally writes the metrics
+snapshot as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from . import BENCH, EXPERIMENTS, FULL, SMOKE
 from ..dbsim.hardware import CDB_A
+from ..obs import (
+    SpanExporter,
+    Tracer,
+    configure_console,
+    get_logger,
+    get_metrics,
+    obs_report,
+    set_tracer,
+)
 
 SCALES = {"smoke": SMOKE, "bench": BENCH, "full": FULL}
 
 #: Drivers that do not take a scale argument.
 _STATIC = {"fig1c", "fig1d", "table2"}
 
+logger = get_logger(__name__)
+
 
 def _run_one(name: str, scale, seed: int) -> None:
     driver = EXPERIMENTS[name]
-    print(f"=== {name} ===")
+    logger.info("=== %s ===", name)
     start = time.perf_counter()
     if name in _STATIC:
         result = driver()
@@ -42,13 +60,13 @@ def _run_one(name: str, scale, seed: int) -> None:
         renderer = getattr(result, attribute, None)
         if callable(renderer):
             try:
-                print(renderer())
+                logger.info("%s", renderer())
                 break
             except TypeError:
                 continue
     else:
-        print(result)
-    print(f"({elapsed:.1f} s)\n")
+        logger.info("%s", result)
+    logger.info("(%.1f s)\n", elapsed)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,30 +74,72 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Run one of the paper's table/figure experiments.")
     parser.add_argument("experiment", nargs="?",
-                        help="experiment id (e.g. fig9, table2) or 'all'")
+                        help="experiment id (e.g. fig9, table2), 'all', or "
+                             "'obs-report'")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="for obs-report: the trace JSONL to render")
     parser.add_argument("--list", action="store_true",
                         help="list available experiment ids")
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="capture spans (and a final metrics snapshot) "
+                             "to this JSONL file")
+    parser.add_argument("--metrics", dest="metrics_in", default=None,
+                        metavar="PATH",
+                        help="for obs-report: metrics snapshot JSON to "
+                             "render alongside the trace")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics snapshot to this JSON file")
     args = parser.parse_args(argv)
+    configure_console()
+
+    if args.experiment == "obs-report":
+        if args.path is None:
+            logger.error("obs-report needs a trace file: "
+                         "python -m repro.experiments obs-report TRACE.jsonl")
+            return 2
+        try:
+            logger.info("%s", obs_report(args.path,
+                                         metrics_path=args.metrics_in))
+        except (OSError, ValueError) as error:
+            logger.error("cannot render %s: %s", args.path, error)
+            return 2
+        return 0
 
     if args.list or args.experiment is None:
-        print("available experiments:")
+        logger.info("available experiments:")
         for name in sorted(EXPERIMENTS):
-            print(f"  {name}")
+            logger.info("  %s", name)
         return 0
 
-    scale = SCALES[args.scale]
-    if args.experiment == "all":
-        for name in sorted(EXPERIMENTS):
-            _run_one(name, scale, args.seed)
+    exporter = SpanExporter(args.trace) if args.trace else None
+    previous_tracer = (set_tracer(Tracer(exporter)) if exporter is not None
+                       else None)
+    try:
+        scale = SCALES[args.scale]
+        if args.experiment == "all":
+            for name in sorted(EXPERIMENTS):
+                _run_one(name, scale, args.seed)
+        elif args.experiment not in EXPERIMENTS:
+            logger.error("unknown experiment %r; use --list", args.experiment)
+            return 2
+        else:
+            _run_one(args.experiment, scale, args.seed)
+
+        snapshot = get_metrics().snapshot()
+        if exporter is not None:
+            exporter.export(snapshot)
+            logger.info("trace: %s", args.trace)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            logger.info("metrics: %s", args.metrics_out)
         return 0
-    if args.experiment not in EXPERIMENTS:
-        print(f"unknown experiment {args.experiment!r}; use --list",
-              file=sys.stderr)
-        return 2
-    _run_one(args.experiment, scale, args.seed)
-    return 0
+    finally:
+        if exporter is not None:
+            exporter.close()
+            set_tracer(previous_tracer)
 
 
 if __name__ == "__main__":

@@ -145,8 +145,11 @@ def run_comparison(hardware: HardwareSpec, workload: WorkloadSpec | str,
                                                probe_every=scale.probe_every,
                                                stop_on_convergence=False,
                                                workers=workers)
-                training_cost["evaluations"] = float(training.evaluations)
-                training_cost["cache_hits"] = float(training.cache_hits)
+                counters = training.telemetry.counters
+                training_cost["evaluations"] = float(
+                    counters.get("evaluations", 0))
+                training_cost["cache_hits"] = float(
+                    counters.get("cache_hits", 0))
             return tuner.tune(
                 hardware, workload, steps=scale.tune_steps).best
         _timed("CDBTune", _run_cdbtune)

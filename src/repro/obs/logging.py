@@ -1,0 +1,71 @@
+"""Logging wiring: one ``repro`` logger hierarchy, console handlers.
+
+Library modules call :func:`get_logger` and log; nothing prints unless an
+entry point opts in.  The CLIs (``python -m repro.experiments``,
+``repro-service``, the examples) call :func:`configure_console`, which
+installs a message-only handler pair — INFO to stdout, WARNING+ to stderr
+— so human-readable reports keep looking exactly like the ``print()``
+calls they replaced while still flowing through :mod:`logging` (level
+control, capture, redirection).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import List
+
+__all__ = ["ROOT_LOGGER", "configure_console", "get_logger"]
+
+ROOT_LOGGER = "repro"
+
+#: Marker attribute identifying handlers installed by configure_console.
+_MARKER = "_repro_obs_console"
+
+
+class _MaxLevelFilter(logging.Filter):
+    def __init__(self, max_level: int) -> None:
+        super().__init__()
+        self.max_level = max_level
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        return record.levelno < self.max_level
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if name is None or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def configure_console(level: int = logging.INFO,
+                      fmt: str = "%(message)s") -> List[logging.Handler]:
+    """(Re-)install plain console handlers on the ``repro`` logger.
+
+    Messages below WARNING go to the *current* ``sys.stdout``, WARNING and
+    above to the current ``sys.stderr`` — matching where the CLIs used to
+    ``print()``.  Calling again replaces the previous console handlers, so
+    repeated ``main()`` invocations (tests with captured streams) bind to
+    the streams of the moment instead of stale ones.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _MARKER, False):
+            logger.removeHandler(handler)
+    formatter = logging.Formatter(fmt)
+    out = logging.StreamHandler(sys.stdout)
+    out.setLevel(level)
+    out.addFilter(_MaxLevelFilter(logging.WARNING))
+    err = logging.StreamHandler(sys.stderr)
+    err.setLevel(max(level, logging.WARNING))
+    handlers = [out, err]
+    for handler in handlers:
+        handler.setFormatter(formatter)
+        setattr(handler, _MARKER, True)
+        logger.addHandler(handler)
+    logger.setLevel(min(level, logging.WARNING))
+    logger.propagate = False
+    return handlers

@@ -1,0 +1,301 @@
+"""Counters, gauges and fixed-bucket histograms with two expositions.
+
+A :class:`MetricsRegistry` is a thread-safe, get-or-create catalog of
+instruments.  ``snapshot()`` returns a plain-JSON dict (what the
+``--metrics-out`` flags write and ``obs-report`` renders);
+``render_prometheus()`` returns the classic text exposition so the numbers
+can be scraped without any extra dependency.
+
+Instruments are always live — incrementing a counter is one lock + add —
+because unlike spans they carry no per-event allocation; the zero-overhead
+switch of :mod:`repro.obs.tracing` is not needed here.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+#: Default histogram buckets, tuned for sub-second phase durations.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Last-written value (losses, utilization, queue depth)."""
+
+    __slots__ = ("name", "help", "_lock", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += float(amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative exposition, like Prometheus).
+
+    ``buckets`` are upper bounds of the finite buckets; observations above
+    the last bound land in the implicit ``+Inf`` bucket.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_lock", "_counts", "_sum",
+                 "_count", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS,
+                 help: str = "") -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(bounds) + 1)   # +1 for +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def cumulative_counts(self) -> List[Tuple[float, int]]:
+        """``[(upper_bound, cumulative_count), ..., (inf, total)]``."""
+        with self._lock:
+            counts = list(self._counts)
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            lo, hi = self._min, self._max
+        if total == 0:
+            return 0.0
+        target = q * total
+        running = 0.0
+        prev_bound = min(lo, self.buckets[0])
+        for bound, count in zip(self.buckets, counts):
+            if running + count >= target and count > 0:
+                frac = (target - running) / count
+                return prev_bound + frac * (bound - prev_bound)
+            running += count
+            prev_bound = bound
+        return hi if hi > float("-inf") else prev_bound
+
+    def to_dict(self) -> Dict[str, object]:
+        with self._lock:
+            counts = list(self._counts)
+            return {
+                "buckets": [[b, c] for b, c in zip(self.buckets, counts)],
+                "inf": counts[-1],
+                "sum": self._sum,
+                "count": self._count,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+class MetricsRegistry:
+    """Thread-safe, get-or-create catalog of named instruments."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = self._counters[name] = Counter(name, help)
+            return instrument
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = self._gauges[name] = Gauge(name, help)
+            return instrument
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  help: str = "") -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name)
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets, help)
+            return instrument
+
+    def _check_free(self, name: str) -> None:
+        for table in (self._counters, self._gauges, self._histograms):
+            if name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered with another type")
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and fresh CLI runs)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    # -- expositions -------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-JSON snapshot of every instrument."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "kind": "metrics",
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "gauges": {n: g.value for n, g in sorted(gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(histograms.items())},
+        }
+
+    def render_prometheus(self) -> str:
+        """Classic Prometheus text exposition (format 0.0.4)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        lines: List[str] = []
+        for name, counter in sorted(counters.items()):
+            prom = _prom_name(name)
+            if counter.help:
+                lines.append(f"# HELP {prom} {counter.help}")
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {counter.value:g}")
+        for name, gauge in sorted(gauges.items()):
+            prom = _prom_name(name)
+            if gauge.help:
+                lines.append(f"# HELP {prom} {gauge.help}")
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {gauge.value:g}")
+        for name, histogram in sorted(histograms.items()):
+            prom = _prom_name(name)
+            if histogram.help:
+                lines.append(f"# HELP {prom} {histogram.help}")
+            lines.append(f"# TYPE {prom} histogram")
+            for bound, cumulative in histogram.cumulative_counts():
+                label = "+Inf" if bound == float("inf") else f"{bound:g}"
+                lines.append(f'{prom}_bucket{{le="{label}"}} {cumulative}')
+            lines.append(f"{prom}_sum {histogram.sum:g}")
+            lines.append(f"{prom}_count {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+_global_metrics = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _global_metrics
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` installs a fresh one).
+
+    Returns the previously installed registry so callers can restore it.
+    """
+    global _global_metrics
+    previous = _global_metrics
+    _global_metrics = registry if registry is not None else MetricsRegistry()
+    return previous

@@ -1,0 +1,87 @@
+"""Lightweight profiling primitives feeding per-phase histograms.
+
+``profile_block("offline_train.probe")`` times a block and observes the
+wall-clock seconds into the histogram of that name in the global (or a
+supplied) :class:`~repro.obs.metrics.MetricsRegistry`; ``@profiled``
+does the same for a whole function.  Both also accumulate into an
+optional dict — the per-phase ``Telemetry.phase_seconds`` the result
+classes carry — so a single timing feeds the metrics exposition and the
+result object without being taken twice.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Dict, MutableMapping, TypeVar
+
+from .metrics import MetricsRegistry, get_metrics
+
+__all__ = ["profile_block", "profiled"]
+
+F = TypeVar("F", bound=Callable)
+
+
+class profile_block:
+    """Context manager timing one phase.
+
+    Parameters
+    ----------
+    name:
+        Histogram name (by convention ``"<component>.<phase>"``).
+    registry:
+        Metrics registry; defaults to the global one.
+    phases:
+        Optional mapping accumulating ``{phase_key: seconds}`` — the
+        ``Telemetry.phase_seconds`` of a result under construction.
+    phase_key:
+        Key used in ``phases``; defaults to the last dotted component of
+        ``name``.
+    """
+
+    __slots__ = ("name", "registry", "phases", "phase_key", "_start",
+                 "elapsed")
+
+    def __init__(self, name: str, registry: MetricsRegistry | None = None,
+                 phases: MutableMapping[str, float] | None = None,
+                 phase_key: str | None = None) -> None:
+        self.name = name
+        self.registry = registry
+        self.phases = phases
+        self.phase_key = (phase_key if phase_key is not None
+                          else name.rsplit(".", 1)[-1])
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "profile_block":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.elapsed = time.perf_counter() - self._start
+        registry = self.registry if self.registry is not None else get_metrics()
+        registry.histogram(self.name).observe(self.elapsed)
+        if self.phases is not None:
+            self.phases[self.phase_key] = (
+                self.phases.get(self.phase_key, 0.0) + self.elapsed)
+        return False
+
+
+def profiled(name: str | None = None,
+             registry: MetricsRegistry | None = None) -> Callable[[F], F]:
+    """Decorator observing each call's duration into a histogram.
+
+    ``name`` defaults to the function's qualified name.
+    """
+
+    def decorate(func: F) -> F:
+        histogram_name = name or f"{func.__module__}.{func.__qualname__}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with profile_block(histogram_name, registry=registry):
+                return func(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

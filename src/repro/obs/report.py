@@ -1,0 +1,220 @@
+"""Render a captured trace (and metrics snapshot) as text — ``obs-report``.
+
+Input is the JSONL a :class:`~repro.obs.tracing.SpanExporter` wrote:
+``{"kind": "span", ...}`` records, optionally followed by one
+``{"kind": "metrics", ...}`` snapshot (the CLIs append it on exit).  The
+report shows each trace as an indented span tree — repeated siblings of
+the same name (the per-step ``env.step`` spans, say) collapse into one
+``×N`` aggregate line — followed by a counters table and a time-by-phase
+bar chart of the histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["load_jsonl", "obs_report", "render_metrics", "render_trace"]
+
+#: Sibling spans sharing a name beyond this count collapse into one line.
+_COLLAPSE_AT = 4
+_TAG_LIMIT = 4
+
+
+def load_jsonl(path: str | os.PathLike) -> Tuple[List[dict], List[dict]]:
+    """Parse an exporter file into (span records, metrics snapshots)."""
+    spans: List[dict] = []
+    metrics: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: invalid JSON: "
+                                 f"{error}") from None
+            kind = record.get("kind")
+            if kind == "span":
+                spans.append(record)
+            elif kind == "metrics":
+                metrics.append(record)
+    return spans, metrics
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000.0:.1f}ms"
+
+
+def _fmt_tags(tags: Dict[str, object]) -> str:
+    if not tags:
+        return ""
+    shown = list(tags.items())[:_TAG_LIMIT]
+    body = ", ".join(f"{k}={v}" for k, v in shown)
+    if len(tags) > _TAG_LIMIT:
+        body += ", …"
+    return f"  [{body}]"
+
+
+def _group_by_name(siblings: Sequence[dict]) -> List[Tuple[str, List[dict]]]:
+    order: List[str] = []
+    groups: Dict[str, List[dict]] = {}
+    for span in sorted(siblings, key=lambda s: s.get("start", 0.0)):
+        name = str(span.get("name"))
+        if name not in groups:
+            groups[name] = []
+            order.append(name)
+        groups[name].append(span)
+    return [(name, groups[name]) for name in order]
+
+
+def _render_siblings(siblings: Sequence[dict],
+                     children: Dict[str, List[dict]],
+                     depth: int, lines: List[str]) -> None:
+    pad = "  " * depth
+    for name, group in _group_by_name(siblings):
+        if len(group) < _COLLAPSE_AT:
+            for span in group:
+                status = "" if span.get("status") == "ok" else " !ERROR"
+                lines.append(
+                    f"{pad}{name}  {_fmt_s(float(span.get('wall_s', 0.0)))}"
+                    f" wall / {_fmt_s(float(span.get('cpu_s', 0.0)))} cpu"
+                    f"{status}{_fmt_tags(span.get('tags') or {})}")
+                kids = children.get(span.get("span") or "", [])
+                if kids:
+                    _render_siblings(kids, children, depth + 1, lines)
+        else:
+            wall = sum(float(s.get("wall_s", 0.0)) for s in group)
+            cpu = sum(float(s.get("cpu_s", 0.0)) for s in group)
+            errors = sum(1 for s in group if s.get("status") != "ok")
+            note = f"  ({errors} errors)" if errors else ""
+            lines.append(
+                f"{pad}{name} ×{len(group)}  {_fmt_s(wall)} wall total"
+                f" / {_fmt_s(wall / len(group))} mean"
+                f" / {_fmt_s(cpu)} cpu{note}")
+            merged: List[dict] = []
+            for span in group:
+                merged.extend(children.get(span.get("span") or "", []))
+            if merged:
+                _render_siblings(merged, children, depth + 1, lines)
+
+
+def render_trace(spans: Sequence[dict]) -> str:
+    """Indented span-tree rendering, one section per trace id."""
+    if not spans:
+        return "(no spans)"
+    traces: List[str] = []
+    by_trace: Dict[str, List[dict]] = {}
+    for span in spans:
+        trace = str(span.get("trace"))
+        if trace not in by_trace:
+            by_trace[trace] = []
+            traces.append(trace)
+        by_trace[trace].append(span)
+    lines: List[str] = []
+    for trace in traces:
+        members = by_trace[trace]
+        ids = {s.get("span") for s in members}
+        children: Dict[str, List[dict]] = {}
+        roots: List[dict] = []
+        for span in members:
+            parent = span.get("parent")
+            if parent in ids and parent is not None:
+                children.setdefault(str(parent), []).append(span)
+            else:
+                roots.append(span)
+        total = sum(float(s.get("wall_s", 0.0)) for s in roots)
+        lines.append(f"trace {trace} — {len(members)} spans, "
+                     f"{_fmt_s(total)} in roots")
+        _render_siblings(roots, children, 1, lines)
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _hist_quantile(buckets: Sequence[Sequence[float]], inf_count: float,
+                   total: float, q: float) -> float:
+    if total <= 0:
+        return 0.0
+    target = q * total
+    running = 0.0
+    prev_bound = 0.0
+    for bound, count in buckets:
+        if running + count >= target and count > 0:
+            frac = (target - running) / count
+            return prev_bound + frac * (bound - prev_bound)
+        running += count
+        prev_bound = bound
+    return prev_bound
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Counters / gauges tables plus a time-by-phase histogram chart."""
+    lines: List[str] = []
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    if counters:
+        lines.append("counters:")
+        width = max(len(n) for n in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(n) for n in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(n) for n in histograms)
+        totals: Dict[str, float] = {}
+        for name, data in histograms.items():
+            count = float(data.get("count", 0))
+            total = float(data.get("sum", 0.0))
+            buckets = data.get("buckets") or []
+            p50 = _hist_quantile(buckets, float(data.get("inf", 0)),
+                                 count, 0.5)
+            p95 = _hist_quantile(buckets, float(data.get("inf", 0)),
+                                 count, 0.95)
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  n={count:g}  total={_fmt_s(total)}"
+                f"  mean={_fmt_s(mean)}  p50≈{_fmt_s(p50)}"
+                f"  p95≈{_fmt_s(p95)}")
+            if total > 0:
+                totals[name] = total
+        if totals:
+            # Lazy import: ascii_plot lives under repro.experiments, whose
+            # package __init__ imports modules that import repro.obs.
+            from ..experiments.ascii_plot import bar_chart
+            lines.append("")
+            # bar_chart labels values as integers, so plot milliseconds.
+            lines.append("time by phase (histogram totals, ms):")
+            lines.append(bar_chart(
+                {n: round(v * 1000.0) for n, v in sorted(
+                    totals.items(), key=lambda kv: -kv[1])}))
+    return "\n".join(lines).rstrip() + "\n" if lines else "(no metrics)\n"
+
+
+def obs_report(trace_path: str | os.PathLike,
+               metrics_path: str | os.PathLike | None = None) -> str:
+    """Full report: span tree from ``trace_path`` plus metrics summary.
+
+    The metrics snapshot comes from ``metrics_path`` (a ``--metrics-out``
+    JSON file) when given, else from the last inline ``kind: "metrics"``
+    record of the trace file, if any.
+    """
+    spans, inline_metrics = load_jsonl(trace_path)
+    sections = [render_trace(spans)]
+    snapshot: dict | None = None
+    if metrics_path is not None:
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    elif inline_metrics:
+        snapshot = inline_metrics[-1]
+    if snapshot is not None:
+        sections.append(render_metrics(snapshot))
+    return "\n".join(sections)

@@ -26,6 +26,7 @@ from typing import Dict, Sequence
 import numpy as np
 
 from .. import nn
+from ..obs import get_metrics
 from .networks import Critic, build_actor
 from .noise import GaussianNoise, OrnsteinUhlenbeckNoise
 from .replay import PrioritizedReplayMemory, ReplayMemory, Transition
@@ -262,6 +263,10 @@ class DDPGAgent:
         _soft_update(self.target_actor, self.actor, self.config.tau)
         _soft_update(self.target_critic, self.critic, self.config.tau)
         self.train_steps += 1
+        metrics = get_metrics()
+        metrics.gauge("ddpg.critic_loss").set(critic_loss)
+        metrics.gauge("ddpg.actor_loss").set(actor_loss)
+        metrics.counter("ddpg.updates").inc()
         return {"critic_loss": critic_loss, "actor_loss": actor_loss,
                 "mean_q": float(np.mean(values))}
 

@@ -3,18 +3,23 @@
 Submits one session per requested workload against the chosen instance
 type, waits for them to finish, and prints each session's status plus the
 audit trail.  A persistent ``--registry`` directory makes repeat runs
-warm-start from earlier models.
+warm-start from earlier models.  ``--trace`` captures every session as a
+span tree in a JSONL file (render it with ``python -m repro.experiments
+obs-report``); ``--metrics-out`` writes the metrics snapshot as JSON.
 
 Examples::
 
     repro-service --workload sysbench-rw --steps 60
     repro-service --workload sysbench-rw --workload tpcc \
         --hardware CDB-C --registry /tmp/models --audit /tmp/audit.jsonl
+    repro-service --workload sysbench-rw --steps 12 \
+        --trace /tmp/trace.jsonl --metrics-out /tmp/metrics.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 from typing import List
@@ -24,8 +29,18 @@ from .registry import ModelRegistry
 from .server import TuningRequest, TuningService
 from ..dbsim.hardware import INSTANCES
 from ..dbsim.workload import WORKLOADS
+from ..obs import (
+    SpanExporter,
+    Tracer,
+    configure_console,
+    get_logger,
+    get_metrics,
+    set_tracer,
+)
 
 __all__ = ["main"]
+
+logger = get_logger(__name__)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,48 +69,76 @@ def _build_parser() -> argparse.ArgumentParser:
                              "temporary directory)")
     parser.add_argument("--audit", default=None,
                         help="write the audit trail to this JSONL file")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="capture spans (and a final metrics snapshot) "
+                             "to this JSONL file")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the metrics snapshot to this JSON file")
     return parser
 
 
 def main(argv: List[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    configure_console()
     workloads = args.workloads or ["sysbench-rw"]
     hardware = INSTANCES[args.hardware]
 
-    registry_dir = args.registry or tempfile.mkdtemp(prefix="repro-registry-")
-    registry = ModelRegistry(registry_dir)
-    audit = AuditLog(path=args.audit)
-    service = TuningService(registry=registry, audit=audit,
-                            workers=args.workers)
+    exporter = SpanExporter(args.trace) if args.trace else None
+    previous_tracer = (set_tracer(Tracer(exporter)) if exporter is not None
+                       else None)
+    try:
+        registry_dir = (args.registry
+                        or tempfile.mkdtemp(prefix="repro-registry-"))
+        registry = ModelRegistry(registry_dir)
+        audit = AuditLog(path=args.audit)
+        service = TuningService(registry=registry, audit=audit,
+                                workers=args.workers)
 
-    session_ids = []
-    with service:
-        for index, name in enumerate(workloads):
-            session_ids.append(service.submit(TuningRequest(
-                hardware=hardware, workload=name,
-                train_steps=args.steps, tune_steps=args.tune_steps,
-                seed=args.seed + index, noise=args.noise)))
+        session_ids = []
+        with service:
+            for index, name in enumerate(workloads):
+                session_ids.append(service.submit(TuningRequest(
+                    hardware=hardware, workload=name,
+                    train_steps=args.steps, tune_steps=args.tune_steps,
+                    seed=args.seed + index, noise=args.noise)))
+            for sid in session_ids:
+                service.wait(sid)
+
+        failed = 0
         for sid in session_ids:
-            service.wait(sid)
+            status = service.status(sid)
+            line = (f"{status['id']}  {status['tenant']:<24} "
+                    f"{status['state']:<11}")
+            if "best_throughput" in status:
+                line += (f" best {status['best_throughput']:9.1f} txn/s"
+                         f"  ({status['throughput_improvement'] * 100:+.0f}%)")
+            if status["warm_started_from"]:
+                line += f"  warm-start←{status['warm_started_from']}"
+            if status.get("trace"):
+                line += f"  trace={status['trace']}"
+            if status["error"]:
+                line += f"  [{status['error']}]"
+                failed += 1
+            logger.info(line)
+        logger.info("")
+        logger.info("registry: %d model(s) in %s", len(registry),
+                    registry_dir)
+        logger.info("audit: %d event(s)%s", len(audit),
+                    f" → {args.audit}" if args.audit else "")
 
-    failed = 0
-    for sid in session_ids:
-        status = service.status(sid)
-        line = (f"{status['id']}  {status['tenant']:<24} "
-                f"{status['state']:<11}")
-        if "best_throughput" in status:
-            line += (f" best {status['best_throughput']:9.1f} txn/s"
-                     f"  ({status['throughput_improvement'] * 100:+.0f}%)")
-        if status["warm_started_from"]:
-            line += f"  warm-start←{status['warm_started_from']}"
-        if status["error"]:
-            line += f"  [{status['error']}]"
-            failed += 1
-        print(line)
-    print(f"\nregistry: {len(registry)} model(s) in {registry_dir}")
-    print(f"audit: {len(audit)} event(s)"
-          + (f" → {args.audit}" if args.audit else ""))
-    return 1 if failed else 0
+        snapshot = get_metrics().snapshot()
+        if exporter is not None:
+            exporter.export(snapshot)
+            logger.info("trace: %s", args.trace)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(snapshot, handle, indent=2, sort_keys=True)
+            logger.info("metrics: %s", args.metrics_out)
+        return 1 if failed else 0
+    finally:
+        if exporter is not None:
+            exporter.close()
+            set_tracer(previous_tracer)
 
 
 if __name__ == "__main__":  # pragma: no cover

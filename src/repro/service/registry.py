@@ -28,6 +28,7 @@ from typing import Dict, List, Tuple
 from ..core.tuner import CDBTune
 from ..dbsim.hardware import DISK_MEDIA, HardwareSpec
 from ..dbsim.workload import WorkloadSpec, signature_distance
+from ..obs import get_tracer
 
 __all__ = ["ModelEntry", "ModelRegistry", "hardware_distance"]
 
@@ -132,7 +133,8 @@ class ModelRegistry:
         """
         if hardware.medium not in DISK_MEDIA:  # defensive; HardwareSpec validates
             raise ValueError(f"unknown medium {hardware.medium!r}")
-        with self._lock:
+        with get_tracer().span("registry.register", workload=workload.name,
+                               hardware=hardware.name), self._lock:
             if model_id is None:
                 model_id = (f"{workload.name}-{hardware.name}-"
                             f"{len(self._entries):04d}")
@@ -187,23 +189,29 @@ class ModelRegistry:
         266-knob agent).  Ties break toward the most-trained, then the
         most recent entry.
         """
-        best: Tuple[float, int, int] | None = None  # (dist, -steps, -idx)
-        best_entry: ModelEntry | None = None
-        for idx, entry in enumerate(self.entries()):
-            if state_dim is not None and entry.state_dim != state_dim:
-                continue
-            if action_dim is not None and entry.action_dim != action_dim:
-                continue
-            dist = self.distance(entry, workload, hardware)
-            if max_distance is not None and dist > max_distance:
-                continue
-            key = (dist, -entry.train_steps, -idx)
-            if best is None or key < best:
-                best = key
-                best_entry = entry
-        if best_entry is None or best is None:
-            return None
-        return best_entry, best[0]
+        with get_tracer().span("registry.find_nearest",
+                               workload=workload.name,
+                               hardware=hardware.name) as span:
+            best: Tuple[float, int, int] | None = None  # (dist, -steps, -idx)
+            best_entry: ModelEntry | None = None
+            for idx, entry in enumerate(self.entries()):
+                if state_dim is not None and entry.state_dim != state_dim:
+                    continue
+                if action_dim is not None and entry.action_dim != action_dim:
+                    continue
+                dist = self.distance(entry, workload, hardware)
+                if max_distance is not None and dist > max_distance:
+                    continue
+                key = (dist, -entry.train_steps, -idx)
+                if best is None or key < best:
+                    best = key
+                    best_entry = entry
+            if best_entry is None or best is None:
+                span.set_tag("match", None)
+                return None
+            span.set_tag("match", best_entry.model_id)
+            span.set_tag("distance", round(best[0], 6))
+            return best_entry, best[0]
 
     # -- loading -----------------------------------------------------------
     def load_into(self, tuner: CDBTune, entry: ModelEntry) -> CDBTune:

@@ -25,6 +25,7 @@ from typing import Dict, List
 
 from ..dbsim.engine import SimulatedDatabase
 from ..dbsim.errors import DatabaseCrashError
+from ..obs import get_tracer
 from ..rl.reward import PerformanceSample
 
 __all__ = ["SLA", "CanaryVerdict", "DeploymentRecord", "SafetyGuard"]
@@ -114,6 +115,17 @@ class SafetyGuard:
         ``baseline_config`` defaults to the database's vendor defaults —
         the configuration a fresh tenant is running.
         """
+        with get_tracer().span("guard.canary") as span:
+            verdict = self._canary_impl(database, candidate_config,
+                                        baseline_config)
+            span.set_tag("accepted", verdict.accepted)
+            span.set_tag("reason", verdict.reason)
+            return verdict
+
+    def _canary_impl(self, database: SimulatedDatabase,
+                     candidate_config: Dict[str, float],
+                     baseline_config: Dict[str, float] | None,
+                     ) -> CanaryVerdict:
         replica = database.replica()
         if baseline_config is None:
             baseline_config = replica.default_config()
@@ -162,6 +174,7 @@ class SafetyGuard:
         with self._lock:
             self.decisions.append(verdict)
         return verdict
+
 
     # -- deployment / rollback --------------------------------------------
     def seed_baseline(self, tenant: str, config: Dict[str, float]) -> None:

@@ -40,11 +40,14 @@ from typing import Callable, Dict, List, Optional
 from .audit import AuditLog
 from .registry import ModelEntry, ModelRegistry
 from .safety import CanaryVerdict, SafetyGuard
-from ..core.pipeline import TrainingResult, TuningResult
 from ..core.recommender import Recommendation
+from ..core.results import SessionReport, Telemetry, TrainingResult, TuningResult
 from ..core.tuner import CDBTune
 from ..dbsim.hardware import HardwareSpec
 from ..dbsim.workload import WorkloadSpec, get_workload
+from ..obs import get_logger, get_tracer, profile_block
+
+logger = get_logger(__name__)
 
 __all__ = ["SessionState", "TuningRequest", "TuningSession", "TuningService"]
 
@@ -114,6 +117,8 @@ class TuningSession:
         self.verdict: CanaryVerdict | None = None
         self.model_id: str | None = None
         self.deployed = False
+        self.trace_id: str | None = None
+        self.phase_seconds: Dict[str, float] = {}
 
     # -- state machine -----------------------------------------------------
     @property
@@ -150,6 +155,7 @@ class TuningSession:
             "deployed": self.deployed,
             "model_id": self.model_id,
             "error": self.error,
+            "trace": self.trace_id,
         }
         if self.training is not None:
             snapshot["train_steps_run"] = self.training.steps
@@ -162,6 +168,47 @@ class TuningSession:
         if self.verdict is not None:
             snapshot["canary"] = self.verdict.as_dict()
         return snapshot
+
+    def report(self) -> SessionReport:
+        """End-to-end :class:`SessionReport` for this session.
+
+        The report's telemetry merges the training and tuning telemetry
+        blocks with the service-side phase timings (``service.*`` phases),
+        all under the session's trace id.
+        """
+        with self._lock:
+            state = self._state
+            history = list(self.state_history)
+        workload = self.request.workload
+        assert isinstance(workload, WorkloadSpec)
+        telemetry = Telemetry(trace_id=self.trace_id)
+        if self.training is not None:
+            telemetry = telemetry.merge(self.training.telemetry)
+        if self.tuning is not None:
+            telemetry = telemetry.merge(self.tuning.telemetry)
+        telemetry.trace_id = self.trace_id
+        for phase, seconds in self.phase_seconds.items():
+            telemetry.add_phase(f"service.{phase}", seconds)
+        return SessionReport(
+            session_id=self.id,
+            tenant=str(self.request.tenant),
+            workload=workload.name,
+            hardware=self.request.hardware.name,
+            state=state,
+            state_history=history,
+            priority=self.request.priority,
+            warm_started_from=self.warm_started_from,
+            warm_start_distance=self.warm_start_distance,
+            train_budget=self.train_budget,
+            deployed=self.deployed,
+            model_id=self.model_id,
+            error=self.error,
+            training=self.training,
+            tuning=self.tuning,
+            canary=(self.verdict.as_dict()
+                    if self.verdict is not None else None),
+            telemetry=telemetry,
+        )
 
 
 #: Builds the per-session tuner; override to change registry/architecture.
@@ -260,8 +307,7 @@ class TuningService:
                     _, _, session = heapq.heappop(self._queue)
                     session.error = "cancelled at shutdown"
                     session._transition(SessionState.FAILED)
-                    self.audit.emit(session.id, "cancelled",
-                                    reason="shutdown")
+                    self._audit(session, "cancelled", reason="shutdown")
             self._stopping = True
             self._cond.notify_all()
         for thread in self._threads:
@@ -276,17 +322,28 @@ class TuningService:
 
     # -- client API --------------------------------------------------------
     def submit(self, request: TuningRequest) -> str:
-        """Queue a request; returns the session id immediately."""
+        """Queue a request; returns the session id immediately.
+
+        When tracing is on, the session is assigned a trace id here; every
+        span of the session — submission, warmup, training, canary — and
+        every audit record joins it, so one trace covers the whole
+        lifecycle across the submitting and worker threads.
+        """
+        tracer = get_tracer()
         with self._cond:
             if self._stopping:
                 raise RuntimeError("service is shutting down")
             self._seq += 1
             session = TuningSession(f"s{self._seq:04d}", request)
+            session.trace_id = tracer.new_trace_id()
             self._sessions[session.id] = session
             heapq.heappush(self._queue,
                            (-int(request.priority), self._seq, session))
             self._cond.notify()
-        self.audit.emit(session.id, "queued", tenant=request.tenant,
+        with tracer.root_span("service.submit", trace_id=session.trace_id,
+                              session=session.id, tenant=request.tenant,
+                              priority=request.priority):
+            self._audit(session, "queued", tenant=request.tenant,
                         workload=request.workload.name,
                         hardware=request.hardware.name,
                         priority=request.priority,
@@ -322,6 +379,12 @@ class TuningService:
             self.wait(sid, timeout)
 
     # -- worker side -------------------------------------------------------
+    def _audit(self, session: TuningSession, event: str, **fields) -> None:
+        """Audit emission carrying the session's trace id (when traced)."""
+        if session.trace_id is not None:
+            fields.setdefault("trace", session.trace_id)
+        self.audit.emit(session.id, event, **fields)
+
     def _worker_loop(self) -> None:
         while True:
             with self._cond:
@@ -334,8 +397,12 @@ class TuningService:
                 self._process(session)
             except Exception as error:  # noqa: BLE001 - session must terminate
                 session.error = f"{type(error).__name__}: {error}"
-                self.audit.emit(session.id, "failed", error=session.error)
+                logger.warning("session %s failed: %s", session.id,
+                               session.error)
+                self._audit(session, "failed", error=session.error)
                 session._transition(SessionState.FAILED)
+            self._audit(session, "session-report",
+                        report=session.report().to_dict())
 
     def _find_warm_start(self, session: TuningSession,
                          tuner: CDBTune) -> Optional[ModelEntry]:
@@ -357,11 +424,11 @@ class TuningService:
         session.warm_start_distance = distance
         session.train_budget = max(
             1, int(round(request.train_steps * self.warm_start_budget_frac)))
-        self.audit.emit(session.id, "warm-start", model=entry.model_id,
-                        trained_on_workload=entry.workload_name,
-                        trained_on_hardware=entry.hardware["name"],
-                        distance=round(distance, 6),
-                        budget=session.train_budget)
+        self._audit(session, "warm-start", model=entry.model_id,
+                    trained_on_workload=entry.workload_name,
+                    trained_on_hardware=entry.hardware["name"],
+                    distance=round(distance, 6),
+                    budget=session.train_budget)
         return entry
 
     def _process(self, session: TuningSession) -> None:
@@ -369,84 +436,110 @@ class TuningService:
         workload = request.workload
         assert isinstance(workload, WorkloadSpec)
         tenant = str(request.tenant)
+        tracer = get_tracer()
 
-        # WARMUP: build the tenant's tuner, consult the registry, and seed
-        # the tenant's baseline configuration with the guard.
-        session._transition(SessionState.WARMUP)
-        self.audit.emit(session.id, "started", tenant=tenant)
-        tuner = self.tuner_factory(request)
-        entry = self._find_warm_start(session, tuner)
-        if entry is None:
-            self.audit.emit(session.id, "cold-start",
-                            budget=session.train_budget)
-        if self.guard.deployed_config(tenant) is None:
-            baseline = dict(tuner.db_registry.defaults())
-            if request.current_config is not None:
-                baseline.update(
-                    tuner.db_registry.validate(request.current_config))
-            self.guard.seed_baseline(tenant, baseline)
+        # The session's spans live on this worker thread, but the trace id
+        # was allocated at submit() — root_span joins that trace, so the
+        # whole lifecycle renders as one tree.
+        with tracer.root_span("service.session", trace_id=session.trace_id,
+                              session=session.id, tenant=tenant) as root:
+            # WARMUP: build the tenant's tuner, consult the registry, and
+            # seed the tenant's baseline configuration with the guard.
+            session._transition(SessionState.WARMUP)
+            self._audit(session, "started", tenant=tenant)
+            with tracer.span("service.warmup"), \
+                    profile_block("service.warmup",
+                                  phases=session.phase_seconds,
+                                  phase_key="warmup"):
+                tuner = self.tuner_factory(request)
+                entry = self._find_warm_start(session, tuner)
+                if entry is None:
+                    self._audit(session, "cold-start",
+                                budget=session.train_budget)
+                if self.guard.deployed_config(tenant) is None:
+                    baseline = dict(tuner.db_registry.defaults())
+                    if request.current_config is not None:
+                        baseline.update(
+                            tuner.db_registry.validate(request.current_config))
+                    self.guard.seed_baseline(tenant, baseline)
 
-        # TRAINING: offline training (full budget cold, reduced budget
-        # warm) followed by the online tuning steps of §2.1.2.
-        session._transition(SessionState.TRAINING)
-        session.training = tuner.offline_train(
-            request.hardware, workload, max_steps=session.train_budget,
-            workers=(request.eval_workers
-                     if request.eval_workers > 1 else None),
-            **request.train_kwargs)
-        self.audit.emit(
-            session.id, "training-finished",
-            steps=session.training.steps,
-            episodes=session.training.episodes,
-            crashes=session.training.crashes,
-            converged=session.training.converged,
-            best_throughput=(session.training.best_probe.throughput
-                             if session.training.best_probe else None))
-        deployed_config = self.guard.deployed_config(tenant)
-        session.tuning = tuner.tune(request.hardware, workload,
-                                    steps=request.tune_steps,
-                                    initial_config=deployed_config)
-        session.recommendation = tuner.recommender.from_config(
-            session.tuning.best_config)
-        session._transition(SessionState.RECOMMENDED)
-        self.audit.emit(
-            session.id, "recommended",
-            best_throughput=session.tuning.best.throughput,
-            best_latency=session.tuning.best.latency,
-            improvement=session.tuning.throughput_improvement)
+            # TRAINING: offline training (full budget cold, reduced budget
+            # warm) followed by the online tuning steps of §2.1.2.
+            session._transition(SessionState.TRAINING)
+            with tracer.span("service.training"), \
+                    profile_block("service.training",
+                                  phases=session.phase_seconds,
+                                  phase_key="training"):
+                session.training = tuner.offline_train(
+                    request.hardware, workload,
+                    max_steps=session.train_budget,
+                    workers=(request.eval_workers
+                             if request.eval_workers > 1 else None),
+                    **request.train_kwargs)
+            self._audit(
+                session, "training-finished",
+                steps=session.training.steps,
+                episodes=session.training.episodes,
+                crashes=session.training.crashes,
+                converged=session.training.converged,
+                best_throughput=(session.training.best_probe.throughput
+                                 if session.training.best_probe else None))
+            deployed_config = self.guard.deployed_config(tenant)
+            with tracer.span("service.tuning"), \
+                    profile_block("service.tuning",
+                                  phases=session.phase_seconds,
+                                  phase_key="tuning"):
+                session.tuning = tuner.tune(request.hardware, workload,
+                                            steps=request.tune_steps,
+                                            initial_config=deployed_config)
+            session.recommendation = tuner.recommender.from_config(
+                session.tuning.best_config)
+            session._transition(SessionState.RECOMMENDED)
+            self._audit(
+                session, "recommended",
+                best_throughput=session.tuning.best.throughput,
+                best_latency=session.tuning.best.latency,
+                improvement=session.tuning.throughput_improvement)
 
-        # Register the fine-tuned model for future warm starts, whatever
-        # the canary decides — the model is knowledge, not a deployment.
-        if self.registry is not None:
-            best = session.tuning.best
-            registered = self.registry.register(
-                tuner, workload, request.hardware,
-                train_steps=session.training.steps,
-                best_throughput=best.throughput,
-                best_latency=best.latency,
-                parent=session.warm_started_from,
-                metadata={"session": session.id, "tenant": tenant},
-                model_id=(f"{workload.name}-{request.hardware.name}-"
-                          f"{session.id}"))
-            session.model_id = registered.model_id
-            self.audit.emit(session.id, "model-registered",
+            # Register the fine-tuned model for future warm starts, whatever
+            # the canary decides — the model is knowledge, not a deployment.
+            if self.registry is not None:
+                best = session.tuning.best
+                registered = self.registry.register(
+                    tuner, workload, request.hardware,
+                    train_steps=session.training.steps,
+                    best_throughput=best.throughput,
+                    best_latency=best.latency,
+                    parent=session.warm_started_from,
+                    metadata={"session": session.id, "tenant": tenant},
+                    model_id=(f"{workload.name}-{request.hardware.name}-"
+                              f"{session.id}"))
+                session.model_id = registered.model_id
+                self._audit(session, "model-registered",
                             model=registered.model_id)
 
-        # Canary + deployment: the recommendation must beat the tenant's
-        # live configuration on a replica before it goes live.
-        database = tuner.make_database(request.hardware, workload)
-        verdict = self.guard.canary(database,
-                                    session.recommendation.config,
-                                    baseline_config=deployed_config)
-        session.verdict = verdict
-        self.audit.emit(session.id, "canary", **verdict.as_dict())
-        if verdict.accepted:
-            self.guard.deploy(tenant, session.recommendation.config, verdict)
-            session.deployed = True
-            self.audit.emit(session.id, "deployed", tenant=tenant)
-            session._transition(SessionState.DEPLOYED)
-        else:
-            session.error = f"canary rejected: {verdict.reason}"
-            self.audit.emit(session.id, "deployment-blocked",
+            # Canary + deployment: the recommendation must beat the tenant's
+            # live configuration on a replica before it goes live.
+            with tracer.span("service.canary"), \
+                    profile_block("service.canary",
+                                  phases=session.phase_seconds,
+                                  phase_key="canary"):
+                database = tuner.make_database(request.hardware, workload)
+                verdict = self.guard.canary(database,
+                                            session.recommendation.config,
+                                            baseline_config=deployed_config)
+            session.verdict = verdict
+            self._audit(session, "canary", **verdict.as_dict())
+            if verdict.accepted:
+                self.guard.deploy(tenant, session.recommendation.config,
+                                  verdict)
+                session.deployed = True
+                self._audit(session, "deployed", tenant=tenant)
+                session._transition(SessionState.DEPLOYED)
+                root.set_tag("outcome", "deployed")
+            else:
+                session.error = f"canary rejected: {verdict.reason}"
+                self._audit(session, "deployment-blocked",
                             reason=verdict.reason, detail=verdict.detail)
-            session._transition(SessionState.FAILED)
+                session._transition(SessionState.FAILED)
+                root.set_tag("outcome", "blocked")

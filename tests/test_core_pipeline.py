@@ -72,7 +72,7 @@ class TestOnlineTuning:
     def test_five_step_request(self, trained_tuner):
         run = trained_tuner.tune(CDB_A, "sysbench-rw", steps=5)
         assert run.steps == 5
-        assert len(run.history) == 5
+        assert len(run.records) == 5
         assert run.best.throughput >= run.initial.throughput
         assert run.throughput_improvement >= 0.0
 

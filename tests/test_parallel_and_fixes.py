@@ -189,17 +189,20 @@ class TestParallelEvaluator:
         assert runs[0].probe_throughputs == runs[1].probe_throughputs
         assert runs[0].rewards == runs[1].rewards
         # The prefetched run answers the warmup from the cache.
-        assert runs[1].cache_hits > runs[0].cache_hits
+        assert (runs[1].telemetry.counters["cache_hits"]
+                > runs[0].telemetry.counters["cache_hits"])
 
     def test_offline_train_reports_accounting(self):
         tuner = CDBTune(seed=5, noise=0.0)
         result = tuner.offline_train(CDB_A, "sysbench-rw", max_steps=30,
                                      probe_every=10,
                                      stop_on_convergence=False)
-        assert result.evaluations > 30   # steps + resets + probes
-        assert set(result.phase_timings) >= {"reset", "warmup", "train",
-                                             "probe", "distill"}
-        assert all(v >= 0.0 for v in result.phase_timings.values())
+        counters = result.telemetry.counters
+        assert counters["evaluations"] > 30   # steps + resets + probes
+        assert set(result.telemetry.phase_seconds) >= {
+            "reset", "warmup", "train", "probe", "distill"}
+        assert all(v >= 0.0
+                   for v in result.telemetry.phase_seconds.values())
 
 
 class TestGreedyProbeIsolation:
