@@ -53,16 +53,16 @@ def batch_evaluate(database: SimulatedDatabase,
     """Evaluate several configs in order; ``None`` marks a crash.
 
     With an evaluator the batch fans out across its worker pool (and the
-    database's evaluation cache); without one it degrades to sequential
-    :func:`safe_evaluate` calls.  Both paths return identical samples
+    database's evaluation cache); without one it runs the database's own
+    vectorized batch path in-process.  All paths return identical samples
     because the simulator is deterministic per (seed, config, trial).
     """
     if evaluator is not None:
         observations = evaluator.evaluate_batch(configs, trials=trials)
-        return [obs.performance if obs is not None else None
-                for obs in observations]
-    return [safe_evaluate(database, config, trial=trial)
-            for config, trial in zip(configs, trials)]
+    else:
+        observations = database.evaluate_many(configs, trials=list(trials))
+    return [obs.performance if obs is not None else None
+            for obs in observations]
 
 
 @dataclass

@@ -128,13 +128,7 @@ class OtterTune(BaseTuner):
         if evaluator is not None:
             observations = evaluator.evaluate_batch(configs, trials=trials)
         else:
-            observations = []
-            for config, trial in zip(configs, trials):
-                try:
-                    observations.append(
-                        database.evaluate(config, trial=trial))
-                except Exception:
-                    observations.append(None)
+            observations = database.evaluate_many(configs, trials=trials)
         for config, obs in zip(configs, observations):
             if obs is None:
                 continue  # crashed samples carry no metrics

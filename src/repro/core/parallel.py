@@ -1,20 +1,24 @@
 """Parallel + cached evaluation of knob configurations.
 
 Every experiment in the reproduction — offline training, the Figure 6–8
-knob sweeps, the Table 3 baseline comparison — bottlenecks on serial calls
-to :meth:`~repro.dbsim.engine.SimulatedDatabase.evaluate`.  This module
-fans a *batch* of configurations out across a ``ProcessPoolExecutor``
-whose workers each hold an identically-seeded replica of the database, and
-funnels every result through the database's LRU evaluation cache so
-repeated probes of the same (config, trial) pair are free.
+knob sweeps, the Table 3 baseline comparison — used to bottleneck on serial
+calls to :meth:`~repro.dbsim.engine.SimulatedDatabase.evaluate`.  The
+master database now scores whole batches in one vectorized pass
+(:meth:`~repro.dbsim.engine.SimulatedDatabase.evaluate_many`); this module
+layers process-level parallelism on top by sharding each batch's pending
+rows across a ``ProcessPoolExecutor`` whose workers each hold an
+identically-seeded replica of the database and run the same vectorized
+batch core on their shard.
 
-Determinism is structural: ``evaluate`` is a pure function of
-(seed, config, trial) — measurement jitter is hash-seeded per key — so a
-worker replica computes bit-for-bit the value the master would have.  The
-``serial_fallback`` path (also taken when ``workers <= 1`` or the pool
-cannot start) therefore returns exactly the same observations, and both
-paths leave the master database's ``evaluations``/``stress_tests``/
-``cache_hits`` counters in the same state.
+Determinism is structural: every observation is a pure function of
+(seed, validated config, trial) — measurement jitter is hash-seeded per
+key — and the batch core computes each lane independently of its
+neighbours, so a worker replica scoring a shard produces bit-for-bit the
+rows the master would have.  The ``serial_fallback`` path (also taken when
+``workers <= 1`` or the pool cannot start) therefore returns exactly the
+same observations, and all cache interaction and counter bookkeeping
+happens on the master inside the engine regardless of where the stress
+tests ran.
 """
 
 from __future__ import annotations
@@ -23,16 +27,17 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 from ..dbsim.engine import DatabaseObservation, SimulatedDatabase
-from ..dbsim.errors import DatabaseCrashError
 from ..obs import get_metrics, get_tracer
 
 __all__ = ["EvalStats", "ParallelEvaluator"]
 
 # Worker-process state: one database replica per worker, installed once by
-# the pool initializer and reused for every job the worker receives.
+# the pool initializer and reused for every shard the worker receives.
 _WORKER_DB: SimulatedDatabase | None = None
 
 
@@ -46,23 +51,19 @@ def _worker_noop(_: int) -> None:
     return None
 
 
-def _worker_evaluate(job: Tuple[object, int, bool]):
-    """Evaluate one (payload, trial, packed) job on the worker's replica.
+def _worker_evaluate_shard(shard: Tuple[np.ndarray, List[int]]):
+    """Score one shard of validated registry-order rows on the replica.
 
-    Returns ``(status, payload, worker_s)`` — the third element is the
-    seconds the worker actually spent simulating, so the master can split
-    batch wall-clock into worker time vs. queue/IPC wait.
+    Returns ``(outcomes, worker_s)`` — the per-row ``(status, payload)``
+    list from the vectorized batch core, plus the seconds the worker
+    actually spent simulating so the master can split batch wall-clock
+    into worker time vs. queue/IPC wait.
     """
-    payload, trial, packed = job
+    rows, trials = shard
     assert _WORKER_DB is not None, "worker pool not initialized"
-    config = (_WORKER_DB.registry.unpack_values(payload) if packed
-              else payload)
     tick = time.perf_counter()
-    try:
-        observation = _WORKER_DB.evaluate(config, trial=trial)
-        return ("ok", observation, time.perf_counter() - tick)
-    except DatabaseCrashError as error:
-        return ("crash", str(error), time.perf_counter() - tick)
+    outcomes = _WORKER_DB._run_stress_batch(np.asarray(rows), list(trials))
+    return outcomes, time.perf_counter() - tick
 
 
 @dataclass
@@ -73,7 +74,7 @@ class EvalStats:
     requests: int = 0           # (config, trial) jobs submitted
     cache_hits: int = 0         # answered from the master cache
     dispatched: int = 0         # actually simulated (pool or serial)
-    crashes: int = 0
+    crashes: int = 0            # crash results returned (fresh or memoized)
     wall_s: float = 0.0
     worker_s: float = 0.0       # seconds workers spent simulating
     phase_wall_s: Dict[str, float] = field(default_factory=dict)
@@ -99,8 +100,11 @@ class ParallelEvaluator:
     ----------
     database:
         The master database.  Results land in *its* evaluation cache, and
-        its ``evaluations``/``stress_tests``/``cache_hits`` counters are
-        kept consistent with what a serial run would have produced.
+        its ``evaluations``/``stress_tests``/``cache_hits``/
+        ``cache_misses`` counters are kept consistent with what a serial
+        run would have produced (the engine's batch core does all the
+        bookkeeping; this class only decides *where* pending rows are
+        simulated).
     workers:
         Process count.  ``workers <= 1`` (or ``serial_fallback=True``)
         evaluates in-process; the results are bitwise-identical either
@@ -109,7 +113,8 @@ class ParallelEvaluator:
         Force the in-process path even for ``workers > 1`` — useful for
         determinism tests and environments without working ``fork``.
     chunksize:
-        Jobs per pool task (amortizes IPC); defaults to a heuristic.
+        Rows per worker shard; defaults to an even split of the batch
+        across the pool.
     """
 
     def __init__(self, database: SimulatedDatabase, workers: int | None = None,
@@ -124,6 +129,8 @@ class ParallelEvaluator:
         self.stats = EvalStats()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
+        self._batch_worker_s = 0.0
+        self._batch_pooled = False
 
     # -- lifecycle ---------------------------------------------------------
     @property
@@ -179,13 +186,37 @@ class ParallelEvaluator:
         self.close()
 
     # -- evaluation --------------------------------------------------------
-    def _encode_job(self, config: Mapping[str, float],
-                    trial: int) -> Tuple[object, int, bool]:
-        """Compact pool-job payload (see :meth:`KnobRegistry.pack_values`)."""
-        values = self.database.registry.pack_values(config)
-        if values is not None:
-            return (values, trial, True)
-        return (dict(config), trial, False)
+    def _pool_compute(self, pool: ProcessPoolExecutor,
+                      ) -> Callable[[np.ndarray, List[int]], list]:
+        """Compute hook for the engine: shard pending rows across the pool.
+
+        The engine hands over only the rows that actually need a stress
+        test (cache misses, already deduplicated); each worker runs the
+        vectorized batch core on its shard.  On pool failure the shard
+        work falls back in-process — same bits, only slower.
+        """
+        def compute(rows: np.ndarray, trials: List[int]) -> list:
+            n = len(trials)
+            shard_size = self.chunksize or max(1, -(-n // self.pool_size))
+            shards = [(rows[a:a + shard_size], trials[a:a + shard_size])
+                      for a in range(0, n, shard_size)]
+            try:
+                shard_results = list(pool.map(_worker_evaluate_shard, shards,
+                                              chunksize=1))
+            except (OSError, MemoryError, RuntimeError):
+                self._pool_broken = True
+                self.close()
+                return self.database._run_stress_batch(rows, trials)
+            metrics = get_metrics()
+            outcomes: list = []
+            for shard_outcomes, worker_s in shard_results:
+                outcomes.extend(shard_outcomes)
+                self._batch_worker_s += worker_s
+                metrics.histogram("parallel.worker_seconds").observe(worker_s)
+            self._batch_pooled = True
+            return outcomes
+
+        return compute
 
     def evaluate_batch(self, configs: Sequence[Mapping[str, float]],
                        trials: Iterable[int] | None = None,
@@ -196,9 +227,10 @@ class ParallelEvaluator:
 
         ``trials`` supplies each configuration's trial number (defaults to
         ``start_trial, start_trial+1, ...``).  Cached keys are answered
-        from the master cache; the misses run on the pool (or serially)
+        from the master cache; the misses run on the pool (or in-process)
         and are stored back, so a subsequent serial ``evaluate`` of any of
-        these keys is free.
+        these keys is free.  Observations, cache state and every counter
+        match a serial ``evaluate`` loop bitwise.
         """
         db = self.database
         trial_list = (list(trials) if trials is not None
@@ -210,103 +242,51 @@ class ParallelEvaluator:
                                  workers=self.pool_size)
         with span:
             tick = time.perf_counter()
-            worker_busy = 0.0
-            jobs = [(db.registry.validate(dict(config)), int(trial))
-                    for config, trial in zip(configs, trial_list)]
-            results: List[DatabaseObservation | None] = [None] * len(jobs)
-            canonical = db.registry.canonical_items
-            keys = [(trial, canonical(config)) for config, trial in jobs]
-            pending: List[int] = []
-            first_seen: Dict[Tuple[int, Tuple], int] = {}
-            dup_of: Dict[int, int] = {}
-            for i, key in enumerate(keys):
-                cached = db.cache_peek(key) if db.cache_size > 0 else None
-                if cached is not None:
-                    db.evaluations += 1
-                    db.cache_hits += 1
-                    self.stats.cache_hits += 1
-                    metrics.counter("parallel.cache_hits").inc()
-                    results[i] = None if isinstance(cached, str) else cached
-                elif db.cache_size > 0 and key in first_seen:
-                    # Duplicate within the batch: a serial run would have hit
-                    # the cache here, so dispatch only the first occurrence.
-                    dup_of[i] = first_seen[key]
-                else:
-                    first_seen[key] = i
-                    pending.append(i)
-
-            pool = self._ensure_pool() if pending else None
-            pooled = False
-            if pool is not None:
-                chunksize = self.chunksize or max(
-                    1, -(-len(pending) // (2 * self.pool_size)))
-                try:
-                    outcomes = list(pool.map(
-                        _worker_evaluate,
-                        [self._encode_job(*jobs[i]) for i in pending],
-                        chunksize=chunksize))
-                except (OSError, MemoryError, RuntimeError):
-                    self._pool_broken = True
-                    self.close()
-                    outcomes = None
-                if outcomes is not None:
-                    pooled = True
-                    for i, (status, payload, worker_s) in zip(pending,
-                                                              outcomes):
-                        db.evaluations += 1
-                        db.stress_tests += 1
-                        self.stats.dispatched += 1
-                        worker_busy += worker_s
-                        metrics.histogram(
-                            "parallel.worker_seconds").observe(worker_s)
-                        if status == "crash":
-                            db.cache_put(keys[i], payload)
-                            results[i] = None
-                            self.stats.crashes += 1
-                        else:
-                            db.cache_put(keys[i], payload)
-                            results[i] = payload
-                    pending = []
-
-            for i in pending:  # serial path (fallback or workers <= 1)
-                config, trial = jobs[i]
-                self.stats.dispatched += 1
-                job_tick = time.perf_counter()
-                try:
-                    results[i] = db.evaluate(config, trial=trial)
-                except DatabaseCrashError:
-                    results[i] = None
-                    self.stats.crashes += 1
-                job_s = time.perf_counter() - job_tick
-                worker_busy += job_s
-                metrics.histogram("parallel.worker_seconds").observe(job_s)
-
-            for i, j in dup_of.items():  # duplicates resolve as cache hits
-                db.evaluations += 1
-                db.cache_hits += 1
-                self.stats.cache_hits += 1
-                metrics.counter("parallel.cache_hits").inc()
-                results[i] = results[j]
+            self._batch_worker_s = 0.0
+            self._batch_pooled = False
+            pool = self._ensure_pool() if len(configs) else None
+            compute = self._pool_compute(pool) if pool is not None else None
+            outcomes = db._evaluate_many_outcomes(configs, trial_list,
+                                                  compute=compute)
+            results: List[DatabaseObservation | None] = [
+                payload if status == "ok" else None
+                for status, payload, _fresh in outcomes]
+            fresh = sum(1 for _s, _p, f in outcomes if f)
+            hits = len(outcomes) - fresh
+            # Crash accounting covers *results*, not just fresh stress
+            # tests: a memoized crash served from the cache still hands the
+            # caller a crashed config, and used to go uncounted here.
+            crashes = sum(1 for s, _p, _f in outcomes if s == "crash")
 
             elapsed = time.perf_counter() - tick
+            worker_busy = (self._batch_worker_s if self._batch_pooled
+                           else elapsed)
             self.stats.batches += 1
-            self.stats.requests += len(jobs)
+            self.stats.requests += len(configs)
+            self.stats.cache_hits += hits
+            self.stats.dispatched += fresh
+            self.stats.crashes += crashes
             self.stats.wall_s += elapsed
             self.stats.worker_s += worker_busy
             if phase is not None:
                 self.stats.phase_wall_s[phase] = (
                     self.stats.phase_wall_s.get(phase, 0.0) + elapsed)
+            if hits:
+                metrics.counter("parallel.cache_hits").inc(hits)
+            if not self._batch_pooled and fresh:
+                metrics.histogram("parallel.worker_seconds").observe(
+                    worker_busy)
             metrics.histogram("parallel.batch_seconds").observe(elapsed)
             # Queue/IPC wait: wall-clock the batch spent beyond what the
             # simulations themselves cost (normalized to the lanes used).
-            lanes = self.pool_size if pooled else 1
+            lanes = self.pool_size if self._batch_pooled else 1
             metrics.histogram("parallel.queue_wait_seconds").observe(
                 max(0.0, elapsed - worker_busy / lanes))
             if elapsed > 0 and self.stats.dispatched:
                 metrics.gauge("parallel.utilization").set(
                     min(1.0, worker_busy / (elapsed * lanes)))
-            span.set_tag("cache_hits", len(configs) - len(first_seen))
-            span.set_tag("dispatched", len(first_seen))
+            span.set_tag("cache_hits", hits)
+            span.set_tag("dispatched", fresh)
             span.set_tag("worker_s", round(worker_busy, 4))
         return results
 
@@ -324,63 +304,28 @@ class ParallelEvaluator:
         db = self.database
         if db.cache_size <= 0 or not jobs:
             return 0
-        metrics = get_metrics()
         span = get_tracer().span("parallel.prefetch", requests=len(jobs),
                                  workers=self.pool_size)
         with span:
             tick = time.perf_counter()
-            worker_busy = 0.0
-            validated = [(db.registry.validate(dict(config)), int(trial))
-                         for config, trial in jobs]
-            todo = []
-            seen = set()
-            for config, trial in validated:
-                key = (trial, db.registry.canonical_items(config))
-                if key in seen or db.cache_peek(key) is not None:
-                    continue
-                seen.add(key)
-                todo.append((config, trial))
-            ran = 0
-            pool = self._ensure_pool() if todo else None
-            if pool is not None:
-                chunksize = self.chunksize or max(
-                    1, -(-len(todo) // (2 * self.pool_size)))
-                try:
-                    outcomes = list(pool.map(
-                        _worker_evaluate,
-                        [self._encode_job(config, trial)
-                         for config, trial in todo],
-                        chunksize=chunksize))
-                except (OSError, MemoryError, RuntimeError):
-                    self._pool_broken = True
-                    self.close()
-                    outcomes = None
-                if outcomes is not None:
-                    for (config, trial), (status, payload,
-                                          worker_s) in zip(todo, outcomes):
-                        key = (trial, db.registry.canonical_items(config))
-                        db.cache_put(key, payload)
-                        db.stress_tests += 1
-                        worker_busy += worker_s
-                        metrics.histogram(
-                            "parallel.worker_seconds").observe(worker_s)
-                        if status == "crash":
-                            self.stats.crashes += 1
-                    ran = len(todo)
-                    todo = []
-            for config, trial in todo:  # serial fallback: evaluate() caches
-                job_tick = time.perf_counter()
-                try:
-                    db.evaluate(config, trial=trial)
-                except DatabaseCrashError:
-                    self.stats.crashes += 1
-                worker_busy += time.perf_counter() - job_tick
-                # evaluate() bumped the request counter for what is really a
-                # background warm-up, not a consumer request; undo that.
-                db.evaluations -= 1
-                ran += 1
+            self._batch_worker_s = 0.0
+            self._batch_pooled = False
+            configs = [config for config, _trial in jobs]
+            trial_list = [int(trial) for _config, trial in jobs]
+            stress_before = db.stress_tests
+            pool = self._ensure_pool()
+            compute = self._pool_compute(pool) if pool is not None else None
+            outcomes = db._evaluate_many_outcomes(configs, trial_list,
+                                                  consume=False,
+                                                  compute=compute)
+            ran = db.stress_tests - stress_before
+            crashes = sum(1 for s, _p, f in outcomes if s == "crash" and f)
+
             elapsed = time.perf_counter() - tick
+            worker_busy = (self._batch_worker_s if self._batch_pooled
+                           else elapsed)
             self.stats.dispatched += ran
+            self.stats.crashes += crashes
             self.stats.wall_s += elapsed
             self.stats.worker_s += worker_busy
             self.stats.phase_wall_s[phase] = (

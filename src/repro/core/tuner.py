@@ -126,14 +126,16 @@ class CDBTune:
                       **train_kwargs) -> TrainingResult:
         """Cold-start training on a standard workload (§2.1.1).
 
-        ``workers`` > 1 prefetches the latin-hypercube warmup phase through
-        a :class:`~repro.core.parallel.ParallelEvaluator`; the trajectory
-        is identical either way (the simulator is deterministic per
+        ``workers`` routes the latin-hypercube warmup phase through a
+        :class:`~repro.core.parallel.ParallelEvaluator` — batched through
+        the database's vectorized path even at ``workers=1``, sharded
+        across a process pool above that.  The trajectory is identical
+        either way (the simulator is deterministic per
         (seed, config, trial)), only wall-clock changes.
         """
         env = self.make_environment(hardware, workload)
         evaluator = None
-        if workers is not None and workers > 1:
+        if workers is not None:
             evaluator = ParallelEvaluator(env.database, workers=workers)
         try:
             result = offline_train(env, self.agent, evaluator=evaluator,

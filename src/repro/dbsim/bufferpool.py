@@ -18,10 +18,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["hit_ratio", "MemoryBudget", "memory_pressure"]
+__all__ = ["hit_ratio", "hit_ratio_array", "MemoryBudget", "memory_pressure",
+           "memory_pressure_array"]
 
 _OS_RESERVED_GB = 0.75  # kernel + mysqld baseline footprint
 _USABLE_FRAC = 0.92     # fraction of RAM the server may consume before swapping
+
+
+def hit_ratio_array(pool_gb, working_set_gb: float, skew: float,
+                    instances) -> np.ndarray:
+    """Vectorized :func:`hit_ratio` over per-config arrays.
+
+    ``pool_gb`` and ``instances`` may be arrays (one entry per config);
+    ``working_set_gb`` and ``skew`` are workload scalars.  Inputs are
+    assumed validated (positive sizes, skew in [0, 1)); the scalar entry
+    point keeps the argument checks.  Bitwise-identical to the scalar
+    path: both routes run the same numpy ops in the same order.
+    """
+    # Fragmentation: effective capacity shrinks when pool/instance < 1 GB
+    # and when a single instance serves a big pool.
+    per_instance_gb = pool_gb / instances
+    fragmentation = np.where(per_instance_gb < 1.0,
+                             1.0 - 0.06 * (1.0 - per_instance_gb), 1.0)
+    fragmentation = np.where((instances == 1) & (pool_gb > 4.0),
+                             fragmentation - 0.03, fragmentation)
+    coverage = np.minimum(1.0, (pool_gb * fragmentation) / working_set_gb)
+    partial = np.minimum(0.998, np.power(coverage, 1.0 - skew))
+    # Page splits/DDL keep a real pool below 100 %.
+    return np.where(coverage >= 1.0, 0.998, partial)
 
 
 def hit_ratio(pool_gb: float, working_set_gb: float, skew: float,
@@ -38,18 +62,7 @@ def hit_ratio(pool_gb: float, working_set_gb: float, skew: float,
         raise ValueError("skew must be in [0, 1)")
     if instances < 1:
         raise ValueError("instances must be >= 1")
-    # Fragmentation: effective capacity shrinks when pool/instance < 1 GB
-    # and when a single instance serves a big pool.
-    per_instance_gb = pool_gb / instances
-    fragmentation = 1.0
-    if per_instance_gb < 1.0:
-        fragmentation -= 0.06 * (1.0 - per_instance_gb)
-    if instances == 1 and pool_gb > 4.0:
-        fragmentation -= 0.03
-    coverage = min(1.0, (pool_gb * fragmentation) / working_set_gb)
-    if coverage >= 1.0:
-        return 0.998  # page splits/DDL keep a real pool below 100 %
-    return float(min(0.998, coverage ** (1.0 - skew)))
+    return float(hit_ratio_array(pool_gb, working_set_gb, skew, instances))
 
 
 @dataclass(frozen=True)
@@ -65,6 +78,18 @@ class MemoryBudget:
         return self.buffer_pool_gb + self.session_gb + self.shared_gb
 
 
+def memory_pressure_array(total_gb, ram_gb: float) -> np.ndarray:
+    """Vectorized :func:`memory_pressure` over a total-demand array."""
+    available = max(ram_gb - _OS_RESERVED_GB, 0.5)
+    overcommit = total_gb / (available * _USABLE_FRAC)
+    # Quadratic onset, exponential cliff: 5 % over budget ≈ 1.3x slowdown,
+    # 50 % over ≈ 12x (thrashing).  Beyond ~3x overcommit the box is
+    # unusable either way; cap the penalty so downstream math stays finite.
+    excess = np.minimum(overcommit - 1.0, 3.0)
+    penalty = 1.0 + 4.0 * (excess * excess) + np.expm1(3.5 * excess)
+    return np.where(overcommit <= 1.0, 1.0, penalty)
+
+
 def memory_pressure(budget: MemoryBudget, ram_gb: float) -> float:
     """Multiplicative slowdown from memory over-commit (1.0 = no pressure).
 
@@ -73,12 +98,4 @@ def memory_pressure(budget: MemoryBudget, ram_gb: float) -> float:
     """
     if ram_gb <= 0:
         raise ValueError("ram_gb must be positive")
-    available = max(ram_gb - _OS_RESERVED_GB, 0.5)
-    overcommit = budget.total_gb / (available * _USABLE_FRAC)
-    if overcommit <= 1.0:
-        return 1.0
-    # Quadratic onset, exponential cliff: 5 % over budget ≈ 1.3x slowdown,
-    # 50 % over ≈ 12x (thrashing).  Beyond ~3x overcommit the box is
-    # unusable either way; cap the penalty so downstream math stays finite.
-    excess = min(overcommit - 1.0, 3.0)
-    return float(1.0 + 4.0 * excess ** 2 + np.expm1(3.5 * excess))
+    return float(memory_pressure_array(budget.total_gb, ram_gb))

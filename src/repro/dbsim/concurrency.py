@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ConcurrencyConfig", "ConcurrencyOutcome", "evaluate_concurrency"]
+__all__ = ["ConcurrencyConfig", "ConcurrencyOutcome", "evaluate_concurrency",
+           "ConcurrencyArrays", "evaluate_concurrency_arrays"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,74 @@ class ConcurrencyOutcome:
     thread_create_rate: float  # thread churn from a cold thread cache
 
 
+@dataclass(frozen=True)
+class ConcurrencyArrays:
+    """:class:`ConcurrencyOutcome` with one array entry per config."""
+
+    admitted_threads: np.ndarray
+    active_workers: np.ndarray
+    contention_factor: np.ndarray
+    admission_ratio: np.ndarray
+    lock_wait_frac: np.ndarray
+    avg_lock_wait_ms: np.ndarray
+    thread_create_rate: np.ndarray
+
+
+def evaluate_concurrency_arrays(max_connections, thread_concurrency,
+                                thread_cache_size, spin_wait_delay,
+                                sync_spin_loops, offered_threads: int,
+                                cores: int, write_frac: float,
+                                skew: float) -> ConcurrencyArrays:
+    """Vectorized :func:`evaluate_concurrency` over per-config knob arrays.
+
+    Knob inputs may be arrays (validated values, one per config); workload
+    and hardware inputs are scalars.  Runs the same numpy ops as the
+    scalar path so both routes produce bitwise-identical results.
+    """
+    admitted = np.minimum(float(offered_threads), max_connections)
+    admission_ratio = admitted / offered_threads
+
+    # Engine-side concurrency limit.
+    inside = np.where(thread_concurrency > 0,
+                      np.minimum(admitted, thread_concurrency), admitted)
+
+    # Mutex/spinlock contention once the engine oversubscribes the cores.
+    # The optimum is a few threads per core; beyond that, cache-line
+    # ping-pong and context switches dominate.
+    optimal = cores * 6.0
+    excess = (inside - optimal) / optimal
+    # Well-chosen spin parameters shave a little off the contention.
+    spin_tune = np.where((spin_wait_delay >= 4) & (spin_wait_delay <= 12)
+                         & (sync_spin_loops >= 20) & (sync_spin_loops <= 60),
+                         0.85, 1.0)
+    contention = np.where(
+        inside <= optimal,
+        1.0 + 0.02 * (inside / optimal),
+        1.0 + 0.02 + spin_tune * (0.55 * excess + 0.25 * (excess * excess)))
+
+    # Workers doing useful engine work at any instant.
+    active = np.minimum(inside, optimal * (1.0 + 0.4 * np.log1p(
+        np.maximum(inside - optimal, 0.0) / optimal)))
+
+    # Row-lock waits: concurrent writers on a skewed key space.
+    writers = active * write_frac
+    hot_collision = skew ** 2 * writers / (writers + 40.0)
+    lock_wait_frac = np.clip(hot_collision, 0.0, 0.6)
+    avg_lock_wait_ms = 0.4 + 18.0 * lock_wait_frac
+
+    churn = np.maximum(0.0, admitted - thread_cache_size) * 0.02
+
+    return ConcurrencyArrays(
+        admitted_threads=admitted,
+        active_workers=np.maximum(active, 1.0),
+        contention_factor=contention,
+        admission_ratio=admission_ratio,
+        lock_wait_frac=lock_wait_frac,
+        avg_lock_wait_ms=avg_lock_wait_ms,
+        thread_create_rate=churn,
+    )
+
+
 def evaluate_concurrency(config: ConcurrencyConfig, offered_threads: int,
                          cores: int, write_frac: float,
                          skew: float) -> ConcurrencyOutcome:
@@ -53,48 +122,17 @@ def evaluate_concurrency(config: ConcurrencyConfig, offered_threads: int,
         raise ValueError("offered_threads and cores must be positive")
     if not 0.0 <= write_frac <= 1.0 or not 0.0 <= skew < 1.0:
         raise ValueError("write_frac in [0,1], skew in [0,1)")
-
-    admitted = float(min(offered_threads, config.max_connections))
-    admission_ratio = admitted / offered_threads
-
-    # Engine-side concurrency limit.
-    if config.thread_concurrency > 0:
-        inside = min(admitted, float(config.thread_concurrency))
-    else:
-        inside = admitted
-
-    # Mutex/spinlock contention once the engine oversubscribes the cores.
-    # The optimum is a few threads per core; beyond that, cache-line
-    # ping-pong and context switches dominate.
-    optimal = cores * 6.0
-    if inside <= optimal:
-        contention = 1.0 + 0.02 * (inside / optimal)
-    else:
-        excess = (inside - optimal) / optimal
-        spin_tune = 1.0
-        # Well-chosen spin parameters shave a little off the contention.
-        if 4 <= config.spin_wait_delay <= 12 and 20 <= config.sync_spin_loops <= 60:
-            spin_tune = 0.85
-        contention = 1.0 + 0.02 + spin_tune * (0.55 * excess + 0.25 * excess ** 2)
-
-    # Workers doing useful engine work at any instant.
-    active = min(inside, optimal * (1.0 + 0.4 * np.log1p(
-        max(inside - optimal, 0.0) / optimal)))
-
-    # Row-lock waits: concurrent writers on a skewed key space.
-    writers = active * write_frac
-    hot_collision = skew ** 2 * writers / (writers + 40.0)
-    lock_wait_frac = float(np.clip(hot_collision, 0.0, 0.6))
-    avg_lock_wait_ms = 0.4 + 18.0 * lock_wait_frac
-
-    churn = max(0.0, admitted - config.thread_cache_size) * 0.02
-
+    arrays = evaluate_concurrency_arrays(
+        float(config.max_connections), float(config.thread_concurrency),
+        float(config.thread_cache_size), float(config.spin_wait_delay),
+        float(config.sync_spin_loops), offered_threads, cores,
+        write_frac, skew)
     return ConcurrencyOutcome(
-        admitted_threads=admitted,
-        active_workers=float(max(active, 1.0)),
-        contention_factor=float(contention),
-        admission_ratio=float(admission_ratio),
-        lock_wait_frac=lock_wait_frac,
-        avg_lock_wait_ms=float(avg_lock_wait_ms),
-        thread_create_rate=float(churn),
+        admitted_threads=float(arrays.admitted_threads),
+        active_workers=float(arrays.active_workers),
+        contention_factor=float(arrays.contention_factor),
+        admission_ratio=float(arrays.admission_ratio),
+        lock_wait_frac=float(arrays.lock_wait_frac),
+        avg_lock_wait_ms=float(arrays.avg_lock_wait_ms),
+        thread_create_rate=float(arrays.thread_create_rate),
     )

@@ -15,7 +15,9 @@ import numpy as np
 
 from .hardware import DiskMedium
 
-__all__ = ["IOConfig", "IOOutcome", "evaluate_io", "thread_pool_efficiency"]
+__all__ = ["IOConfig", "IOOutcome", "evaluate_io", "thread_pool_efficiency",
+           "IOArrays", "IOStatic", "io_static_arrays", "evaluate_io_arrays",
+           "thread_pool_efficiency_array"]
 
 
 @dataclass(frozen=True)
@@ -60,6 +62,14 @@ def thread_pool_efficiency(threads: int, demand: float, cores: int) -> float:
     return float(useful * (1.0 / (1.0 + 0.9 * oversub)))
 
 
+def thread_pool_efficiency_array(threads, demand, cores: int) -> np.ndarray:
+    """Vectorized :func:`thread_pool_efficiency` (``threads``/``demand``
+    arrays, ``demand`` entries assumed positive as in the engine's use)."""
+    useful = np.minimum(threads, demand) / demand
+    oversub = np.maximum(0.0, threads - np.maximum(demand, cores)) / max(cores, 1)
+    return useful * (1.0 / (1.0 + 0.9 * oversub))
+
+
 def evaluate_io(config: IOConfig, disk: DiskMedium, cores: int,
                 miss_rate_per_sec: float, dirty_pages_per_sec: float) -> IOOutcome:
     """Model one interval of I/O behaviour."""
@@ -71,8 +81,10 @@ def evaluate_io(config: IOConfig, disk: DiskMedium, cores: int,
     read_eff = thread_pool_efficiency(config.read_io_threads, read_demand, cores)
     parallelism = max(1.0, min(config.read_io_threads, read_demand) * read_eff)
     queue = max(0.0, miss_rate_per_sec / max(disk.iops, 1.0) - 0.6)
-    read_miss_ms = disk.read_latency_ms * (1.0 / parallelism ** 0.35) * (
-        1.0 + 4.0 * queue ** 2
+    # np.power (not Python's **) so the scalar path shares the last-ulp
+    # behaviour of the vectorized path in evaluate_io_arrays.
+    read_miss_ms = disk.read_latency_ms * (1.0 / np.power(parallelism, 0.35)) * (
+        1.0 + 4.0 * (queue * queue)
     )
     if config.flush_method == "O_DIRECT":
         read_miss_ms *= 1.02  # no OS page cache to soften misses
@@ -82,8 +94,8 @@ def evaluate_io(config: IOConfig, disk: DiskMedium, cores: int,
     # weighted geometric blend makes the budget climbable one knob at a
     # time while still rewarding setting the pair coherently.
     io_budget = min(
-        (max(config.io_capacity, 1.0) * 2.0) ** 0.65
-        * max(config.io_capacity_max, 1.0) ** 0.35,
+        float(np.power(max(config.io_capacity, 1.0) * 2.0, 0.65)
+              * np.power(max(config.io_capacity_max, 1.0), 0.35)),
         disk.iops * 0.8)
     write_demand = max(dirty_pages_per_sec / 800.0, 1.0)
     write_eff = thread_pool_efficiency(config.write_io_threads, write_demand, cores)
@@ -122,5 +134,119 @@ def evaluate_io(config: IOConfig, disk: DiskMedium, cores: int,
         flush_capacity_pages=float(flush_capacity),
         write_stall_factor=float(stall),
         purge_capacity=float(purge_capacity),
+        dirty_frac_target=dirty_target,
+    )
+
+
+@dataclass(frozen=True)
+class IOArrays:
+    """:class:`IOOutcome` with one array entry per config."""
+
+    read_miss_ms: np.ndarray
+    flush_capacity_pages: np.ndarray
+    write_stall_factor: np.ndarray
+    purge_capacity: np.ndarray
+    dirty_frac_target: np.ndarray
+
+
+@dataclass(frozen=True)
+class IOStatic:
+    """Rate-independent intermediates of :func:`evaluate_io_arrays`.
+
+    Depends only on knob values and disk/CPU constants — not on the miss
+    or dirty-page rates — so a fixed-point solver can compute it once per
+    batch.  Produced by the exact same ops the inline path runs, keeping
+    results bitwise-identical.
+    """
+
+    io_budget: np.ndarray
+    depth_factor: np.ndarray    # LRU-scan-depth multiplier, already clipped
+    safe_headroom: np.ndarray   # max(max_dirty_pct / 75, 0.2)
+    dirty_frac_target: np.ndarray
+
+
+def io_static_arrays(io_capacity, io_capacity_max, max_dirty_pct,
+                     lru_scan_depth, disk: DiskMedium) -> IOStatic:
+    """Precompute the rate-independent parts of the I/O model."""
+    io_budget = np.minimum(
+        np.power(np.maximum(io_capacity, 1.0) * 2.0, 0.65)
+        * np.power(np.maximum(io_capacity_max, 1.0), 0.35),
+        disk.iops * 0.8)
+    depth_ratio = lru_scan_depth / 1024.0
+    depth_factor = np.clip(
+        0.9 + 0.1 * np.log2(np.maximum(depth_ratio, 0.1) + 1.0), 0.85, 1.1)
+    safe_headroom = np.maximum(max_dirty_pct / 75.0, 0.2)
+    dirty_frac_target = np.clip(max_dirty_pct / 100.0 * 0.6, 0.02, 0.7)
+    return IOStatic(io_budget=io_budget, depth_factor=depth_factor,
+                    safe_headroom=safe_headroom,
+                    dirty_frac_target=dirty_frac_target)
+
+
+def evaluate_io_arrays(read_io_threads, write_io_threads, purge_threads,
+                       io_capacity, io_capacity_max, o_direct,
+                       flush_neighbors, max_dirty_pct, lru_scan_depth,
+                       adaptive_flushing, disk: DiskMedium, cores: int,
+                       miss_rate_per_sec, dirty_pages_per_sec,
+                       static: IOStatic | None = None) -> IOArrays:
+    """Vectorized :func:`evaluate_io` over per-config knob/rate arrays.
+
+    Mirrors the scalar path op for op (same ufuncs, same order) so results
+    are bitwise-identical; ``o_direct`` and ``adaptive_flushing`` are
+    boolean arrays, the rest validated knob values or per-config rates.
+    Pass ``static`` (from :func:`io_static_arrays`) to skip recomputing
+    rate-independent terms inside a fixed-point loop.
+    """
+    if static is None:
+        static = io_static_arrays(io_capacity, io_capacity_max,
+                                  max_dirty_pct, lru_scan_depth, disk)
+
+    # -- reads: misses are served by the read thread pool against disk IOPS.
+    read_demand = np.maximum(miss_rate_per_sec / 400.0, 1.0)
+    read_eff = thread_pool_efficiency_array(read_io_threads, read_demand, cores)
+    parallelism = np.maximum(
+        1.0, np.minimum(read_io_threads, read_demand) * read_eff)
+    queue = np.maximum(0.0, miss_rate_per_sec / max(disk.iops, 1.0) - 0.6)
+    read_miss_ms = disk.read_latency_ms * (1.0 / np.power(parallelism, 0.35)) * (
+        1.0 + 4.0 * (queue * queue)
+    )
+    read_miss_ms = np.where(o_direct, read_miss_ms * 1.02, read_miss_ms)
+
+    # -- writes: background flushing budget (see evaluate_io).
+    io_budget = static.io_budget
+    write_demand = np.maximum(dirty_pages_per_sec / 800.0, 1.0)
+    write_eff = thread_pool_efficiency_array(write_io_threads, write_demand,
+                                             cores)
+    flush_capacity = io_budget * write_eff
+    if disk.name != "hdd":
+        flush_capacity = np.where(flush_neighbors != 0,
+                                  flush_capacity * 0.96, flush_capacity)
+    else:
+        flush_capacity = np.where(flush_neighbors == 0,
+                                  flush_capacity * 0.85, flush_capacity)
+    flush_capacity = np.where(o_direct, flush_capacity * 1.08, flush_capacity)
+    flush_capacity = np.where(adaptive_flushing, flush_capacity * 1.05,
+                              flush_capacity)
+
+    # LRU scan depth: too shallow starves free pages, too deep burns CPU.
+    flush_capacity = flush_capacity * static.depth_factor
+
+    # Stall factor when dirty generation outruns flushing.
+    overload = dirty_pages_per_sec / np.where(flush_capacity > 0,
+                                              flush_capacity, 1.0) - 1.0
+    stall = np.where(
+        (dirty_pages_per_sec > flush_capacity) & (flush_capacity > 0),
+        1.0 + 2.0 * overload / static.safe_headroom, 1.0)
+
+    purge_eff = thread_pool_efficiency_array(
+        purge_threads, np.maximum(dirty_pages_per_sec / 1500.0, 0.5), cores)
+    purge_capacity = 3000.0 * purge_threads * purge_eff
+
+    dirty_target = static.dirty_frac_target
+
+    return IOArrays(
+        read_miss_ms=read_miss_ms,
+        flush_capacity_pages=flush_capacity,
+        write_stall_factor=stall,
+        purge_capacity=purge_capacity,
         dirty_frac_target=dirty_target,
     )

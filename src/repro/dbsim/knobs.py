@@ -14,6 +14,7 @@ expose only tunable knobs as action dimensions.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Sequence
@@ -149,6 +150,14 @@ class KnobRegistry:
             s.knob_type in (KnobType.INTEGER, KnobType.BOOLEAN, KnobType.ENUM)
             for s in self._specs
         ])
+        self._name_index = {name: i for i, name in enumerate(self._fast_names)}
+        self._sorted_indices = np.fromiter(
+            (self._name_index[name] for name in self._sorted_names),
+            dtype=np.intp, count=len(self._specs))
+        self._defaults_row: np.ndarray | None = None
+        # Key-order permutation cache: batches usually share one dict key
+        # order, so the name->index resolution runs once per distinct order.
+        self._perm_cache: Dict[tuple, np.ndarray] = {}
 
     # -- basic access ----------------------------------------------------------
     def __len__(self) -> int:
@@ -252,6 +261,100 @@ class KnobRegistry:
             name: self._by_name[name].quantize(value)
             for name, value in config.items()
         }
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in registry order."""
+        try:
+            return self._name_index[name]
+        except KeyError:
+            raise KeyError(f"unknown knob {name!r}") from None
+
+    @property
+    def sorted_indices(self) -> np.ndarray:
+        """Registry-order positions of the alphabetically sorted knob names.
+
+        ``row[sorted_indices]`` reorders a registry-order value row into
+        the canonical (sorted-name) order used for cache keys and the
+        per-config jitter seed.
+        """
+        return self._sorted_indices
+
+    def _key_indices(self, names: tuple) -> np.ndarray:
+        """Registry positions of a config's key tuple (cached per order)."""
+        perm = self._perm_cache.get(names)
+        if perm is None:
+            index = self._name_index
+            unknown = [n for n in names if n not in index]
+            if unknown:
+                raise KeyError(f"unknown knobs in config: {sorted(unknown)}")
+            perm = np.fromiter((index[n] for n in names), dtype=np.intp,
+                               count=len(names))
+            self._perm_cache[names] = perm
+        return perm
+
+    def values_matrix(self, configs: Sequence[Mapping[str, float]]) -> np.ndarray:
+        """Validated full-config rows, one per config, in registry order.
+
+        The batched equivalent of ``defaults() | validate(config)``: full
+        configs (any key order) clip and quantize as whole-matrix numpy
+        ops; partial configs clip/quantize only their own positions and
+        fill the rest with raw (unquantized) defaults, exactly as the
+        scalar path does.  Unknown knob names raise ``KeyError``.
+        """
+        n = len(self._specs)
+        fast_names = self._fast_names
+        if configs and all(tuple(config.keys()) == fast_names
+                           for config in configs):
+            # Every row already in registry order: fill the whole matrix
+            # with one chained fromiter (a single C loop) and clip/quantize
+            # in place — no staging copies.
+            out = np.fromiter(
+                itertools.chain.from_iterable(
+                    config.values() for config in configs),
+                dtype=np.float64, count=len(configs) * n,
+            ).reshape(len(configs), n)
+            np.clip(out, self._min_arr, self._max_arr, out=out)
+            out[:, self._round_mask] = np.rint(out[:, self._round_mask])
+            return out
+        out = np.empty((len(configs), n))
+        full_rows: List[int] = []
+        fast_rows: List[int] = []
+        for i, config in enumerate(configs):
+            names = tuple(config.keys())
+            if names == fast_names:
+                fast_rows.append(i)
+                full_rows.append(i)
+            elif len(names) == n:
+                out[i, self._key_indices(names)] = np.fromiter(
+                    config.values(), dtype=np.float64, count=n)
+                full_rows.append(i)
+            else:
+                perm = self._key_indices(names)
+                values = np.fromiter(config.values(), dtype=np.float64,
+                                     count=len(names))
+                np.clip(values, self._min_arr[perm], self._max_arr[perm],
+                        out=values)
+                mask = self._round_mask[perm]
+                values[mask] = np.rint(values[mask])
+                if self._defaults_row is None:
+                    self._defaults_row = np.array(
+                        [s.default for s in self._specs], dtype=np.float64)
+                out[i] = self._defaults_row
+                out[i, perm] = values
+        if fast_rows:
+            # Rows already in registry order fill as one chained fromiter
+            # (a single C loop) instead of one fromiter call per config.
+            out[fast_rows] = np.fromiter(
+                itertools.chain.from_iterable(
+                    configs[i].values() for i in fast_rows),
+                dtype=np.float64, count=len(fast_rows) * n,
+            ).reshape(len(fast_rows), n)
+        if full_rows:
+            sub = out[full_rows]
+            np.clip(sub, self._min_arr, self._max_arr, out=sub)
+            sub[:, self._round_mask] = np.rint(sub[:, self._round_mask])
+            out[full_rows] = sub
+        return out
 
     def pack_values(self, config: Mapping[str, float]) -> tuple | None:
         """Compact a full registry-order config to a bare value tuple.

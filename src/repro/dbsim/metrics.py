@@ -23,6 +23,7 @@ __all__ = [
     "N_METRICS",
     "EngineSnapshot",
     "metrics_vector",
+    "metrics_matrix",
     "metrics_dict",
 ]
 
@@ -170,7 +171,7 @@ _DERIVATIONS["innodb_buffer_pool_pages_data"] = (
 _DERIVATIONS["innodb_buffer_pool_pages_dirty"] = (
     lambda s: _pages(s) * s.buffer_pool_used_frac * s.dirty_frac)
 _DERIVATIONS["innodb_buffer_pool_pages_free"] = (
-    lambda s: _pages(s) * max(0.0, 1.0 - s.buffer_pool_used_frac - 0.03))
+    lambda s: _pages(s) * np.maximum(0.0, 1.0 - s.buffer_pool_used_frac - 0.03))
 _DERIVATIONS["innodb_buffer_pool_pages_misc"] = lambda s: _pages(s) * 0.03
 _DERIVATIONS["innodb_buffer_pool_bytes_data"] = (
     lambda s: s.buffer_pool_bytes * s.buffer_pool_used_frac)
@@ -182,7 +183,7 @@ _DERIVATIONS["innodb_history_list_length"] = lambda s: s.history_list_length
 _DERIVATIONS["threads_running"] = lambda s: s.threads_running
 _DERIVATIONS["threads_connected"] = lambda s: s.threads_connected
 _DERIVATIONS["threads_cached"] = (
-    lambda s: max(0.0, s.thread_cache_size - s.threads_running))
+    lambda s: np.maximum(0.0, s.thread_cache_size - s.threads_running))
 _DERIVATIONS["open_tables"] = lambda s: s.open_tables
 _DERIVATIONS["open_files"] = lambda s: s.open_files
 
@@ -200,7 +201,7 @@ _DERIVATIONS["innodb_buffer_pool_read_requests"] = (
     lambda s: s.interval_s * _reads_per_sec(s) * max(s.rows_per_query, 1.0))
 _DERIVATIONS["innodb_buffer_pool_reads"] = (
     lambda s: s.interval_s * _reads_per_sec(s) * max(s.rows_per_query, 1.0)
-    * max(0.0, 1.0 - s.hit_ratio))
+    * np.maximum(0.0, 1.0 - s.hit_ratio))
 _DERIVATIONS["innodb_buffer_pool_write_requests"] = (
     lambda s: s.interval_s * _writes_per_sec(s) * 2.0)
 _DERIVATIONS["innodb_buffer_pool_pages_flushed"] = (
@@ -213,9 +214,9 @@ _DERIVATIONS["innodb_buffer_pool_wait_free"] = (
     lambda s: s.interval_s * s.wait_free_per_sec)
 _DERIVATIONS["innodb_data_read"] = (
     lambda s: s.interval_s * _reads_per_sec(s)
-    * max(0.0, 1.0 - s.hit_ratio) * PAGE_SIZE)
+    * np.maximum(0.0, 1.0 - s.hit_ratio) * PAGE_SIZE)
 _DERIVATIONS["innodb_data_reads"] = (
-    lambda s: s.interval_s * _reads_per_sec(s) * max(0.0, 1.0 - s.hit_ratio))
+    lambda s: s.interval_s * _reads_per_sec(s) * np.maximum(0.0, 1.0 - s.hit_ratio))
 _DERIVATIONS["innodb_data_writes"] = (
     lambda s: s.interval_s * (s.flush_pages_per_sec + s.fsyncs_per_sec))
 _DERIVATIONS["innodb_data_written"] = (
@@ -231,7 +232,7 @@ _DERIVATIONS["innodb_os_log_written"] = (
 _DERIVATIONS["innodb_pages_created"] = (
     lambda s: s.interval_s * _writes_per_sec(s) * 0.05)
 _DERIVATIONS["innodb_pages_read"] = (
-    lambda s: s.interval_s * _reads_per_sec(s) * max(0.0, 1.0 - s.hit_ratio))
+    lambda s: s.interval_s * _reads_per_sec(s) * np.maximum(0.0, 1.0 - s.hit_ratio))
 _DERIVATIONS["innodb_pages_written"] = (
     lambda s: s.interval_s * s.flush_pages_per_sec)
 _DERIVATIONS["innodb_rows_read"] = (
@@ -289,11 +290,13 @@ _DERIVATIONS["table_locks_waited"] = (
     lambda s: s.interval_s * s.txn_per_sec * s.lock_wait_frac * 0.02)
 _DERIVATIONS["threads_created"] = (
     lambda s: s.interval_s
-    * max(0.0, s.threads_connected - s.thread_cache_size) * 0.01)
+    * np.maximum(0.0, s.threads_connected - s.thread_cache_size) * 0.01)
 
 _missing = set(METRIC_NAMES) - set(_DERIVATIONS)
 if _missing:
     raise AssertionError(f"metrics without derivation: {sorted(_missing)}")
+
+_DERIVATION_SEQ = tuple(_DERIVATIONS[name] for name in METRIC_NAMES)
 
 
 def metrics_vector(snapshot: EngineSnapshot,
@@ -310,6 +313,23 @@ def metrics_vector(snapshot: EngineSnapshot,
             raise ValueError("noise > 0 requires an rng")
         values = values * (1.0 + noise * rng.standard_normal(values.shape))
     return np.maximum(values, 0.0)
+
+
+def metrics_matrix(snapshot: EngineSnapshot, n: int) -> np.ndarray:
+    """Raw ``(n, 63)`` metric derivations for an array-valued snapshot.
+
+    ``snapshot`` holds per-config arrays (or workload scalars) in each
+    field, as produced by the engine's batched solver.  The derivations
+    are the exact same callables the scalar path uses — they contain only
+    elementwise arithmetic, so row ``i`` is bitwise-identical to the
+    scalar derivation of config ``i``'s snapshot.  Measurement jitter and
+    the non-negativity clamp are applied per row by the caller (jitter is
+    seeded per config), matching :func:`metrics_vector` order of ops.
+    """
+    out = np.empty((n, N_METRICS))
+    for j, derive in enumerate(_DERIVATION_SEQ):
+        out[:, j] = derive(snapshot)
+    return out
 
 
 def metrics_dict(snapshot: EngineSnapshot,

@@ -85,8 +85,10 @@ def run_comparison(hardware: HardwareSpec, workload: WorkloadSpec | str,
     registry = registry if registry is not None else mysql_registry()
     database = SimulatedDatabase(hardware, workload, registry=registry,
                                  adapter=adapter, seed=seed)
+    # workers == 1 keeps the pool unspawned but still batches every
+    # sweep through the database's vectorized in-process path.
     evaluator = (ParallelEvaluator(database, workers=workers)
-                 if workers is not None and workers > 1 else None)
+                 if workers is not None else None)
     result = ComparisonResult(workload=workload.name, hardware=hardware.name)
 
     def _timed(system: str, run):

@@ -88,7 +88,9 @@ class KnobCountResult:
 
 def _make_evaluator(database: SimulatedDatabase,
                     workers: int | None) -> ParallelEvaluator | None:
-    if workers is None or workers <= 1:
+    # workers == 1 still pays off: the evaluator batches every sweep
+    # through the database's vectorized in-process path (no pool spawned).
+    if workers is None:
         return None
     return ParallelEvaluator(database, workers=workers)
 
