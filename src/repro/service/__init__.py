@@ -5,13 +5,23 @@ priority-queued, multi-worker :class:`TuningService` front end, a
 :class:`ModelRegistry` that warm-starts new tenants from the nearest
 pre-trained model (§5.3 adaptability as a feature), a :class:`SafetyGuard`
 that canary-evaluates every recommendation before deployment (after
-OnlineTune), and a per-session :class:`AuditLog`.
+OnlineTune), a per-session :class:`AuditLog`, and a
+:class:`ServiceFrontDoor` — the asynchronous HTTP/JSON admission layer
+(``repro-service serve``) with bounded-queue load shedding and per-tenant
+token-bucket rate limits.
 """
 
 from .audit import AuditLog
+from .frontdoor import ServiceFrontDoor, TokenBucket
 from .registry import ModelEntry, ModelRegistry, hardware_distance
 from .safety import SLA, CanaryVerdict, DeploymentRecord, SafetyGuard
-from .server import SessionState, TuningRequest, TuningService, TuningSession
+from .server import (
+    QueueFullError,
+    SessionState,
+    TuningRequest,
+    TuningService,
+    TuningSession,
+)
 
 __all__ = [
     "AuditLog",
@@ -22,7 +32,10 @@ __all__ = [
     "CanaryVerdict",
     "DeploymentRecord",
     "SafetyGuard",
+    "QueueFullError",
+    "ServiceFrontDoor",
     "SessionState",
+    "TokenBucket",
     "TuningRequest",
     "TuningService",
     "TuningSession",

@@ -1,11 +1,19 @@
 """``repro-service``: run tuning sessions through the service from a shell.
 
-Submits one session per requested workload against the chosen instance
-type, waits for them to finish, and prints each session's status plus the
-audit trail.  A persistent ``--registry`` directory makes repeat runs
-warm-start from earlier models.  ``--trace`` captures every session as a
-span tree in a JSONL file (render it with ``python -m repro.experiments
-obs-report``); ``--metrics-out`` writes the metrics snapshot as JSON.
+Two modes:
+
+* **Batch** (default): submits one session per requested workload
+  against the chosen instance type, waits for them to finish, and prints
+  each session's status plus the audit trail.  A persistent
+  ``--registry`` directory makes repeat runs warm-start from earlier
+  models.  ``--trace`` captures every session as a span tree in a JSONL
+  file (render it with ``python -m repro.experiments obs-report``);
+  ``--metrics-out`` writes the metrics snapshot as JSON.
+* **Server** (``repro-service serve``): runs the asynchronous HTTP front
+  door of :mod:`repro.service.frontdoor` — submissions arrive as
+  ``POST /sessions``, backpressure is enforced by the queue-depth bound
+  and per-tenant token buckets, metrics are scrapeable at ``/metrics``,
+  and ``POST /shutdown`` drains gracefully.
 
 Examples::
 
@@ -14,6 +22,7 @@ Examples::
         --hardware CDB-C --registry /tmp/models --audit /tmp/audit.jsonl
     repro-service --workload sysbench-rw --steps 12 \
         --trace /tmp/trace.jsonl --metrics-out /tmp/metrics.json
+    repro-service serve --port 8421 --workers 4 --max-queue-depth 64
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ import tempfile
 from typing import List
 
 from .audit import AuditLog
+from .frontdoor import ServiceFrontDoor
 from .registry import ModelRegistry
 from .server import TuningRequest, TuningService
 from ..dbsim.hardware import INSTANCES
@@ -38,7 +48,7 @@ from ..obs import (
     set_tracer,
 )
 
-__all__ = ["main"]
+__all__ = ["main", "serve_main"]
 
 logger = get_logger(__name__)
 
@@ -77,7 +87,68 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service serve",
+        description="Serve the tuning service over the asynchronous HTTP "
+                    "front door (POST /sessions, GET /sessions[/{id}], "
+                    "GET /metrics, GET /healthz, POST /shutdown).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8421,
+                        help="listen port (0 picks a free one; default "
+                             "8421)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent tuning sessions")
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        help="shed POST /sessions with 429 past this many "
+                             "queued sessions (default 64)")
+    parser.add_argument("--tenant-rate", type=float, default=8.0,
+                        help="per-tenant token-bucket refill, "
+                             "submissions/second (default 8)")
+    parser.add_argument("--tenant-burst", type=float, default=16.0,
+                        help="per-tenant token-bucket capacity (default 16)")
+    parser.add_argument("--registry", default=None,
+                        help="model-registry directory (default: a "
+                             "temporary directory)")
+    parser.add_argument("--audit", default=None,
+                        help="write the audit trail to this JSONL file")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="capture spans to this JSONL file")
+    return parser
+
+
+def serve_main(argv: List[str] | None = None) -> int:
+    """``repro-service serve``: run the HTTP front door until shutdown."""
+    args = _build_serve_parser().parse_args(argv)
+    configure_console()
+    exporter = SpanExporter(args.trace) if args.trace else None
+    previous_tracer = (set_tracer(Tracer(exporter)) if exporter is not None
+                       else None)
+    try:
+        registry_dir = (args.registry
+                        or tempfile.mkdtemp(prefix="repro-registry-"))
+        service = TuningService(registry=ModelRegistry(registry_dir),
+                                audit=AuditLog(path=args.audit),
+                                workers=args.workers)
+        front_door = ServiceFrontDoor(service, host=args.host,
+                                      port=args.port,
+                                      max_queue_depth=args.max_queue_depth,
+                                      tenant_rate=args.tenant_rate,
+                                      tenant_burst=args.tenant_burst)
+        front_door.run()
+        return 0
+    finally:
+        if exporter is not None:
+            exporter.export(get_metrics().snapshot())
+            exporter.close()
+            set_tracer(previous_tracer)
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = _build_parser().parse_args(argv)
     configure_console()
     workloads = args.workloads or ["sysbench-rw"]

@@ -215,9 +215,20 @@ class ModelRegistry:
 
     # -- loading -----------------------------------------------------------
     def load_into(self, tuner: CDBTune, entry: ModelEntry) -> CDBTune:
-        """Warm-start ``tuner`` from a registered checkpoint."""
+        """Warm-start ``tuner`` from a registered checkpoint.
+
+        Raises ``OSError`` when the checkpoint is missing from disk or
+        corrupt (truncated archive, pickled garbage, …) — an indexed
+        entry is a promise the filesystem may no longer keep, and callers
+        (the service's warm-start path) must treat that as "no match",
+        not as a fatal session error.
+        """
         if tuner.agent.config.action_dim != entry.action_dim:
             raise ValueError(
                 f"model {entry.model_id} has action_dim {entry.action_dim}, "
                 f"tuner expects {tuner.agent.config.action_dim}")
-        return tuner.load(os.path.join(self.root, entry.path))
+        path = os.path.join(self.root, entry.path)
+        if not os.path.exists(path):
+            raise FileNotFoundError(
+                f"checkpoint for model {entry.model_id!r} missing: {path}")
+        return tuner.load(path)

@@ -184,6 +184,26 @@ class SafetyGuard:
                 0, DeploymentRecord(tenant=str(tenant), config=dict(config),
                                     verdict=None))
 
+    def seed_baseline_if_absent(self, tenant: str,
+                                config: Dict[str, float]) -> bool:
+        """Seed the baseline only when the tenant has no stack yet.
+
+        ``deployed_config() is None`` followed by :meth:`seed_baseline` is
+        a check-then-act race: two concurrent sessions for the same tenant
+        both observe the empty stack and both seed, corrupting the stack
+        bottom with a duplicate baseline.  This method performs the check
+        and the seed under one lock acquisition; returns ``True`` when
+        this call installed the baseline.
+        """
+        with self._lock:
+            stack = self._stacks.setdefault(str(tenant), [])
+            if stack:
+                return False
+            stack.append(DeploymentRecord(tenant=str(tenant),
+                                          config=dict(config),
+                                          verdict=None))
+            return True
+
     def deploy(self, tenant: str, config: Dict[str, float],
                verdict: CanaryVerdict) -> DeploymentRecord:
         """Push an accepted configuration onto the tenant's stack."""

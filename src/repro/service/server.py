@@ -45,11 +45,27 @@ from ..core.results import SessionReport, Telemetry, TrainingResult, TuningResul
 from ..core.tuner import CDBTune
 from ..dbsim.hardware import HardwareSpec
 from ..dbsim.workload import WorkloadSpec, get_workload
-from ..obs import get_logger, get_tracer, profile_block
+from ..obs import get_logger, get_metrics, get_tracer, profile_block
 
 logger = get_logger(__name__)
 
-__all__ = ["SessionState", "TuningRequest", "TuningSession", "TuningService"]
+__all__ = ["QueueFullError", "SessionState", "TuningRequest",
+           "TuningSession", "TuningService"]
+
+
+class QueueFullError(RuntimeError):
+    """:meth:`TuningService.submit` rejected by the queue-depth bound.
+
+    The service sheds load instead of queueing unboundedly; callers (the
+    async front door) translate this into HTTP 429 and the client retries
+    with backoff.
+    """
+
+    def __init__(self, depth: int, bound: int) -> None:
+        super().__init__(
+            f"queue depth {depth} at bound {bound}; resubmit later")
+        self.depth = depth
+        self.bound = bound
 
 
 class SessionState:
@@ -93,6 +109,14 @@ class TuningRequest:
             self.workload = get_workload(self.workload)
         if self.tenant is None:
             self.tenant = f"{self.workload.name}@{self.hardware.name}"
+        # Coerce numeric fields up front (requests arrive as parsed JSON
+        # through the front door) so a bad value raises here, not deep in
+        # the queue's heap ordering or a worker thread.
+        self.priority = int(self.priority)
+        self.train_steps = int(self.train_steps)
+        self.tune_steps = int(self.tune_steps)
+        self.seed = int(self.seed)
+        self.noise = float(self.noise)
         if self.train_steps <= 0 or self.tune_steps <= 0:
             raise ValueError("train_steps and tune_steps must be positive")
 
@@ -307,7 +331,7 @@ class TuningService:
                     _, _, session = heapq.heappop(self._queue)
                     session.error = "cancelled at shutdown"
                     session._transition(SessionState.FAILED)
-                    self._audit(session, "cancelled", reason="shutdown")
+                    self._safe_audit(session, "cancelled", reason="shutdown")
             self._stopping = True
             self._cond.notify_all()
         for thread in self._threads:
@@ -321,25 +345,45 @@ class TuningService:
         self.shutdown(drain=not any(exc_info))
 
     # -- client API --------------------------------------------------------
-    def submit(self, request: TuningRequest) -> str:
+    def submit(self, request: TuningRequest, *,
+               trace_id: str | None = None,
+               max_queue_depth: int | None = None) -> str:
         """Queue a request; returns the session id immediately.
 
         When tracing is on, the session is assigned a trace id here; every
         span of the session — submission, warmup, training, canary — and
         every audit record joins it, so one trace covers the whole
-        lifecycle across the submitting and worker threads.
+        lifecycle across the submitting and worker threads.  A caller that
+        already opened a trace (the HTTP front door, at accept time)
+        passes its ``trace_id`` so the session joins it instead.
+
+        ``max_queue_depth`` bounds the priority queue *atomically with the
+        insert*: when the queue already holds that many waiting sessions
+        the request is rejected with :class:`QueueFullError` and no
+        session is created.  A separate depth check before ``submit``
+        would race against concurrent submitters.
         """
         tracer = get_tracer()
         with self._cond:
             if self._stopping:
                 raise RuntimeError("service is shutting down")
+            if max_queue_depth is not None \
+                    and len(self._queue) >= max_queue_depth:
+                raise QueueFullError(len(self._queue), max_queue_depth)
             self._seq += 1
             session = TuningSession(f"s{self._seq:04d}", request)
-            session.trace_id = tracer.new_trace_id()
+            session.trace_id = (trace_id if trace_id is not None
+                                else tracer.new_trace_id())
             self._sessions[session.id] = session
             heapq.heappush(self._queue,
                            (-int(request.priority), self._seq, session))
+            depth = len(self._queue)
             self._cond.notify()
+        metrics = get_metrics()
+        metrics.counter("service.sessions_submitted",
+                        help="Sessions accepted by submit()").inc()
+        metrics.gauge("service.queue_depth",
+                      help="Sessions queued, not yet picked up").set(depth)
         with tracer.root_span("service.submit", trace_id=session.trace_id,
                               session=session.id, tenant=request.tenant,
                               priority=request.priority):
@@ -362,8 +406,31 @@ class TuningService:
         return self.session(session_id).status()
 
     def sessions(self) -> List[Dict[str, object]]:
-        """Status snapshots of every session, in submission order."""
-        return [self._sessions[sid].status() for sid in self._sessions]
+        """Status snapshots of every session, in submission order.
+
+        The session table is snapshotted under the service lock: iterating
+        ``self._sessions`` directly would race against concurrent
+        ``submit()`` calls mutating the dict mid-iteration
+        (``RuntimeError: dictionary changed size during iteration``).
+        """
+        with self._cond:
+            snapshot = list(self._sessions.values())
+        return [session.status() for session in snapshot]
+
+    def queue_depth(self) -> int:
+        """Sessions queued and not yet picked up by a worker."""
+        with self._cond:
+            return len(self._queue)
+
+    def workers_alive(self) -> int:
+        """Worker threads currently running (== ``workers`` when healthy).
+
+        A shrinking pool means a worker died on an unhandled error — the
+        load benchmark treats any shrink as a failure.
+        """
+        with self._cond:
+            threads = list(self._threads)
+        return sum(1 for thread in threads if thread.is_alive())
 
     def wait(self, session_id: str, timeout: float | None = None) -> TuningSession:
         """Block until a session reaches a terminal state."""
@@ -374,9 +441,23 @@ class TuningService:
         return session
 
     def drain(self, timeout: float | None = None) -> None:
-        """Block until the queue is empty and no session is in flight."""
-        for sid in list(self._sessions):
-            self.wait(sid, timeout)
+        """Block until the queue is empty and no session is in flight.
+
+        Loops until a locked snapshot shows no unfinished session, so
+        sessions submitted *while* draining are waited on too (the old
+        single pass over ``list(self._sessions)`` missed them).
+        """
+        while True:
+            with self._cond:
+                pending = [session for session in self._sessions.values()
+                           if not session.done.is_set()]
+            if not pending:
+                return
+            for session in pending:
+                if not session.done.wait(timeout):
+                    raise TimeoutError(
+                        f"session {session.id} still {session.state} "
+                        f"after {timeout}s")
 
     # -- worker side -------------------------------------------------------
     def _audit(self, session: TuningSession, event: str, **fields) -> None:
@@ -384,6 +465,24 @@ class TuningService:
         if session.trace_id is not None:
             fields.setdefault("trace", session.trace_id)
         self.audit.emit(session.id, event, **fields)
+
+    def _safe_audit(self, session: TuningSession, event: str,
+                    **fields) -> None:
+        """Audit emission that must never propagate (worker cleanup paths).
+
+        A failing ``emit`` — disk full on the JSONL path, an
+        unserializable field — outside the session guard would kill the
+        worker thread permanently and strand every queued session behind
+        a silently shrunken pool.
+        """
+        try:
+            self._audit(session, event, **fields)
+        except Exception as error:  # noqa: BLE001 - log, never die
+            get_metrics().counter(
+                "service.audit_failures",
+                help="Audit emissions swallowed to keep workers alive").inc()
+            logger.warning("session %s: audit %r emission failed: %s: %s",
+                           session.id, event, type(error).__name__, error)
 
     def _worker_loop(self) -> None:
         while True:
@@ -393,33 +492,65 @@ class TuningService:
                 if not self._queue:
                     return                      # stopping and drained
                 _, _, session = heapq.heappop(self._queue)
+                depth = len(self._queue)
+            get_metrics().gauge(
+                "service.queue_depth",
+                help="Sessions queued, not yet picked up").set(depth)
             try:
                 self._process(session)
             except Exception as error:  # noqa: BLE001 - session must terminate
                 session.error = f"{type(error).__name__}: {error}"
                 logger.warning("session %s failed: %s", session.id,
                                session.error)
-                self._audit(session, "failed", error=session.error)
+                self._safe_audit(session, "failed", error=session.error)
                 session._transition(SessionState.FAILED)
-            self._audit(session, "session-report",
-                        report=session.report().to_dict())
+            try:
+                report = session.report().to_dict()
+            except Exception as error:  # noqa: BLE001 - report is best-effort
+                logger.warning("session %s: report rendering failed: %s: %s",
+                               session.id, type(error).__name__, error)
+            else:
+                self._safe_audit(session, "session-report", report=report)
 
-    def _find_warm_start(self, session: TuningSession,
-                         tuner: CDBTune) -> Optional[ModelEntry]:
+    def _find_warm_start(self, session: TuningSession, tuner: CDBTune,
+                         ) -> tuple[Optional[ModelEntry], CDBTune]:
+        """Consult the registry; returns ``(entry, tuner)``.
+
+        A registered entry whose checkpoint has gone missing or corrupt
+        on disk must degrade to a cold start, not fail the session: the
+        load error is audited as ``warm-start-failed`` and a *fresh*
+        tuner is returned with the full training budget (the failed load
+        may have partially mutated the one passed in).
+        """
         request = session.request
         workload = request.workload
         assert isinstance(workload, WorkloadSpec)
         if self.registry is None or not request.warm_start:
-            return None
+            return None, tuner
         match = self.registry.find_nearest(
             workload, request.hardware,
             state_dim=tuner.agent.config.state_dim,
             action_dim=tuner.agent.config.action_dim,
             max_distance=self.warm_start_max_distance)
         if match is None:
-            return None
+            return None, tuner
         entry, distance = match
-        self.registry.load_into(tuner, entry)
+        try:
+            self.registry.load_into(tuner, entry)
+        except Exception as error:  # noqa: BLE001 - degrade to cold start
+            logger.warning("session %s: warm start from %s failed (%s: %s); "
+                           "cold-starting with full budget", session.id,
+                           entry.model_id, type(error).__name__, error)
+            get_metrics().counter(
+                "service.warm_start_failures",
+                help="Warm-start loads degraded to cold starts").inc()
+            self._safe_audit(session, "warm-start-failed",
+                             model=entry.model_id,
+                             error=f"{type(error).__name__}: {error}")
+            session.warm_started_from = None
+            session.warm_start_distance = None
+            session.train_budget = request.train_steps
+            return None, self.tuner_factory(request)
         session.warm_started_from = entry.model_id
         session.warm_start_distance = distance
         session.train_budget = max(
@@ -429,7 +560,7 @@ class TuningService:
                     trained_on_hardware=entry.hardware["name"],
                     distance=round(distance, 6),
                     budget=session.train_budget)
-        return entry
+        return entry, tuner
 
     def _process(self, session: TuningSession) -> None:
         request = session.request
@@ -452,16 +583,18 @@ class TuningService:
                                   phases=session.phase_seconds,
                                   phase_key="warmup"):
                 tuner = self.tuner_factory(request)
-                entry = self._find_warm_start(session, tuner)
+                entry, tuner = self._find_warm_start(session, tuner)
                 if entry is None:
                     self._audit(session, "cold-start",
                                 budget=session.train_budget)
-                if self.guard.deployed_config(tenant) is None:
-                    baseline = dict(tuner.db_registry.defaults())
-                    if request.current_config is not None:
-                        baseline.update(
-                            tuner.db_registry.validate(request.current_config))
-                    self.guard.seed_baseline(tenant, baseline)
+                baseline = dict(tuner.db_registry.defaults())
+                if request.current_config is not None:
+                    baseline.update(
+                        tuner.db_registry.validate(request.current_config))
+                # Atomic check-and-seed: two concurrent sessions for the
+                # same tenant must not both install a stack bottom.
+                if self.guard.seed_baseline_if_absent(tenant, baseline):
+                    self._audit(session, "baseline-seeded", tenant=tenant)
 
             # TRAINING: offline training (full budget cold, reduced budget
             # warm) followed by the online tuning steps of §2.1.2.

@@ -13,6 +13,8 @@ Covers the acceptance scenarios of the service subsystem:
 """
 
 import json
+import os
+import threading
 
 import pytest
 
@@ -376,3 +378,149 @@ class TestTuningServiceSessions:
         with pytest.raises(ValueError, match="unknown workload"):
             _request(workload="no-such-workload")
         assert _request().tenant == "sysbench-rw@CDB-A"
+
+
+# ---------------------------------------------------------------------------
+# Concurrency regressions (PR 7): the bugs only load made visible
+# ---------------------------------------------------------------------------
+class ExplodingAudit(AuditLog):
+    """Audit log whose ``session-report`` emission always fails."""
+
+    def emit(self, session_id, event, **fields):
+        if event == "session-report":
+            raise OSError("disk full on the JSONL path")
+        return super().emit(session_id, event, **fields)
+
+
+class TestConcurrencyRegressions:
+    def test_sessions_snapshot_survives_concurrent_submit(self):
+        """``sessions()`` must not iterate the dict while submit mutates it.
+
+        Pre-fix this raised ``RuntimeError: dictionary changed size during
+        iteration`` — with ``autostart=False`` nothing consumes the queue,
+        so every submit grows the dict under the reader's feet.
+        """
+        service = TuningService(workers=2, tuner_factory=_tiny_tuner,
+                                autostart=False)
+        errors = []
+        stop = threading.Event()
+
+        def submitter():
+            try:
+                for index in range(40):
+                    service.submit(_request(tenant=f"t{index}"))
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    service.sessions()
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = ([threading.Thread(target=submitter) for _ in range(3)]
+                   + [threading.Thread(target=reader) for _ in range(2)])
+        for thread in threads[:3]:
+            thread.start()
+        for thread in threads[3:]:
+            thread.start()
+        for thread in threads[:3]:
+            thread.join(60)
+        stop.set()
+        for thread in threads[3:]:
+            thread.join(60)
+        service.shutdown(drain=False)
+        assert errors == []
+        assert len(service.sessions()) == 120
+
+    def test_audit_emit_failure_does_not_kill_worker(self):
+        """A failing ``session-report`` emit must not shrink the pool.
+
+        Pre-fix the emit sat outside the worker's try/except: the first
+        finished session killed its worker thread and every queued
+        session hung forever.
+        """
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner,
+                                audit=ExplodingAudit())
+        first = service.wait(service.submit(_request(seed=1)), timeout=300)
+        second = service.wait(service.submit(_request(seed=2)), timeout=300)
+        assert first.state == SessionState.DEPLOYED
+        assert second.state == SessionState.DEPLOYED
+        assert service.workers_alive() == 1
+        service.shutdown()
+
+    def _registry_with_model(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        entry = registry.register(_tiny_tuner(_request()),
+                                  get_workload("sysbench-rw"), CDB_A,
+                                  train_steps=12)
+        return registry, entry
+
+    def test_missing_checkpoint_falls_back_to_cold_start(self, tmp_path):
+        registry, entry = self._registry_with_model(tmp_path)
+        os.remove(tmp_path / "registry" / entry.path)
+        service = _service(workers=1, registry=registry)
+        session = service.wait(service.submit(_request(train_steps=4)),
+                               timeout=300)
+        service.shutdown()
+        assert session.state == SessionState.DEPLOYED
+        assert session.warm_started_from is None
+        assert session.train_budget == 4            # full budget, not half
+        failed = service.audit.events(session.id, "warm-start-failed")
+        assert len(failed) == 1
+        assert entry.model_id in failed[0]["model"]
+        # The cold start is audited after the failed warm start.
+        assert service.audit.events(session.id, "cold-start")
+
+    def test_corrupt_checkpoint_falls_back_to_cold_start(self, tmp_path):
+        registry, entry = self._registry_with_model(tmp_path)
+        with open(tmp_path / "registry" / entry.path, "wb") as handle:
+            handle.write(b"this is not an npz archive")
+        service = _service(workers=1, registry=registry)
+        session = service.wait(service.submit(_request(train_steps=4)),
+                               timeout=300)
+        service.shutdown()
+        assert session.state == SessionState.DEPLOYED
+        assert session.warm_started_from is None
+        assert session.train_budget == 4
+        assert service.audit.events(session.id, "warm-start-failed")
+
+    def test_seed_baseline_if_absent_is_atomic(self):
+        """N racing seeders must leave exactly one stack-bottom baseline."""
+        guard = SafetyGuard()
+        barrier = threading.Barrier(16)
+        seeded = []
+
+        def seeder(index):
+            barrier.wait()
+            if guard.seed_baseline_if_absent("tenant", {"knob": float(index)}):
+                seeded.append(index)
+
+        threads = [threading.Thread(target=seeder, args=(i,))
+                   for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(60)
+        history = guard.history("tenant")
+        assert len(seeded) == 1
+        assert len(history) == 1
+        assert history[0].verdict is None
+
+    def test_same_tenant_concurrent_sessions_seed_one_baseline(self):
+        """End to end: concurrent same-tenant sessions, one stack bottom."""
+        service = TuningService(workers=4, tuner_factory=_tiny_tuner,
+                                autostart=False)
+        for seed in range(6):
+            service.submit(_request(tenant="shared", seed=seed,
+                                    train_steps=4))
+        service.start()
+        service.drain(timeout=300)
+        service.shutdown()
+        history = service.guard.history("shared")
+        baselines = [record for record in history if record.verdict is None]
+        assert len(baselines) == 1
+        assert history[0].verdict is None          # and it is the bottom
+        deployed = [record for record in history if record.verdict is not None]
+        assert all(record.verdict.accepted for record in deployed)

@@ -1,0 +1,317 @@
+"""Async HTTP front door: admission, backpressure, drain, tracing.
+
+Each test boots a real :class:`ServiceFrontDoor` on a free port inside
+``asyncio.run`` and speaks actual HTTP/1.1 to it through the module's
+stdlib client.  Worker threads are gated where determinism matters: a
+``tuner_factory`` blocking on an event keeps sessions in WARMUP so queue
+depth and drain behavior can be asserted without races.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.core.tuner import CDBTune
+from repro.dbsim.hardware import CDB_A
+from repro.obs import Tracer, get_metrics, use_tracer
+from repro.service import SessionState, TuningService
+from repro.service.frontdoor import ServiceFrontDoor, TokenBucket, http_request
+
+TRAIN_KWARGS = {"probe_every": 1000, "episode_length": 2,
+                "warmup_steps": 1, "stop_on_convergence": False}
+
+SUBMIT_BODY = {"workload": "sysbench-rw", "train_steps": 2, "tune_steps": 1,
+               "seed": 3, "noise": 0.0, "train_kwargs": TRAIN_KWARGS}
+
+
+def _tiny_tuner(request):
+    return CDBTune(seed=request.seed, noise=request.noise,
+                   actor_hidden=(8, 8), critic_hidden=(8, 8),
+                   critic_branch_width=4, batch_size=4,
+                   prioritized_replay=False)
+
+
+def _service(**overrides):
+    kwargs = dict(registry=None, workers=2, tuner_factory=_tiny_tuner)
+    kwargs.update(overrides)
+    return TuningService(**kwargs)
+
+
+def _gated_factory(gate):
+    """Factory that parks worker threads until ``gate`` is set."""
+    def factory(request):
+        gate.wait(timeout=60)
+        return _tiny_tuner(request)
+    return factory
+
+
+async def _get(front_door, path):
+    return await http_request("127.0.0.1", front_door.port, "GET", path)
+
+
+async def _post(front_door, path, body=None):
+    return await http_request("127.0.0.1", front_door.port, "POST", path,
+                              body)
+
+
+async def _wait_terminal(front_door, session_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, status = await _get(front_door, f"/sessions/{session_id}")
+        if status["state"] in (SessionState.DEPLOYED, SessionState.FAILED):
+            return status
+        await asyncio.sleep(0.02)
+    raise TimeoutError(f"session {session_id} not terminal in {timeout}s")
+
+
+def _run(coro):
+    return asyncio.run(asyncio.wait_for(coro, 300))
+
+
+# ---------------------------------------------------------------------------
+# Token bucket
+# ---------------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3.0, clock=lambda: clock[0])
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False]
+        assert bucket.seconds_until() == pytest.approx(0.5)
+        clock[0] = 0.5                      # one token refilled
+        assert bucket.try_acquire() is True
+        assert bucket.try_acquire() is False
+
+    def test_capacity_is_capped_at_burst(self):
+        clock = [0.0]
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=lambda: clock[0])
+        clock[0] = 1000.0                   # long idle: still only 2 tokens
+        assert [bucket.try_acquire() for _ in range(3)] == [
+            True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+# ---------------------------------------------------------------------------
+# HTTP API
+# ---------------------------------------------------------------------------
+class TestFrontDoorAPI:
+    def test_submit_status_list_and_metrics(self):
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                status, headers, body = await _post(front_door, "/sessions",
+                                                    SUBMIT_BODY)
+                assert status == 202
+                assert headers["content-type"].startswith("application/json")
+                session_id = body["session"]
+                assert body["tenant"] == "sysbench-rw@CDB-A"
+
+                final = await _wait_terminal(front_door, session_id)
+                assert final["state"] == SessionState.DEPLOYED
+
+                status, _, listing = await _get(front_door, "/sessions")
+                assert status == 200
+                assert [s["id"] for s in listing["sessions"]] == [session_id]
+
+                status, _, health = await _get(front_door, "/healthz")
+                assert status == 200
+                assert health["workers_alive"] == 2
+                assert health["draining"] is False
+
+                status, _, text = await _get(front_door, "/metrics")
+                assert status == 200
+                assert "frontdoor_submitted" in text
+                assert "service_queue_depth" in text
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_client_errors(self):
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                checks = [
+                    ("POST", "/sessions", {"train_steps": 2}, 400),  # no workload
+                    ("POST", "/sessions", {"workload": "nope"}, 400),
+                    ("POST", "/sessions",
+                     dict(SUBMIT_BODY, hardware="CDB-Z"), 400),
+                    ("POST", "/sessions",
+                     dict(SUBMIT_BODY, typo_field=1), 400),
+                    ("POST", "/sessions",
+                     dict(SUBMIT_BODY, train_steps=0), 400),
+                    ("GET", "/sessions/s9999", None, 404),
+                    ("GET", "/no-such-route", None, 404),
+                    ("POST", "/metrics", None, 404),
+                    ("GET", "/shutdown", None, 404),
+                ]
+                for method, path, payload, expected in checks:
+                    status, _, body = await http_request(
+                        "127.0.0.1", front_door.port, method, path, payload)
+                    assert status == expected, (method, path, body)
+                # Wrong method on a valid sessions path.
+                status, _, _ = await http_request(
+                    "127.0.0.1", front_door.port, "DELETE", "/sessions")
+                assert status == 405
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+class TestBackpressure:
+    def test_rate_limit_429(self):
+        async def scenario():
+            gate = threading.Event()
+            service = _service(workers=1,
+                               tuner_factory=_gated_factory(gate))
+            front_door = await ServiceFrontDoor(
+                service, port=0, max_queue_depth=100,
+                tenant_rate=0.001, tenant_burst=2.0).start()
+            limited_before = get_metrics().counter(
+                "frontdoor.rate_limited").value
+            try:
+                results = [await _post(front_door, "/sessions", SUBMIT_BODY)
+                           for _ in range(4)]
+                statuses = [status for status, _, _ in results]
+                assert statuses == [202, 202, 429, 429]
+                _, headers, body = results[2]
+                assert body["error"] == "rate-limited"
+                assert int(headers["retry-after"]) >= 1
+                assert get_metrics().counter(
+                    "frontdoor.rate_limited").value == limited_before + 2
+                # A different tenant has its own bucket.
+                status, _, _ = await _post(
+                    front_door, "/sessions",
+                    dict(SUBMIT_BODY, tenant="other-tenant"))
+                assert status == 202
+            finally:
+                gate.set()
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_shed_past_queue_depth(self):
+        async def scenario():
+            gate = threading.Event()
+            service = _service(workers=1,
+                               tuner_factory=_gated_factory(gate))
+            front_door = await ServiceFrontDoor(
+                service, port=0, max_queue_depth=2,
+                tenant_rate=100.0, tenant_burst=100.0).start()
+            shed_before = get_metrics().counter("frontdoor.shed").value
+            try:
+                status, _, first = await _post(front_door, "/sessions",
+                                               SUBMIT_BODY)
+                assert status == 202
+                # Wait until the single worker holds the first session so
+                # the queue is empty and its depth is deterministic.
+                deadline = time.monotonic() + 60
+                while service.queue_depth() > 0:
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.01)
+
+                accepted = [first["session"]]
+                for _ in range(2):                   # fills the bounded queue
+                    status, _, body = await _post(front_door, "/sessions",
+                                                  SUBMIT_BODY)
+                    assert status == 202
+                    accepted.append(body["session"])
+                status, headers, body = await _post(front_door, "/sessions",
+                                                    SUBMIT_BODY)
+                assert status == 429
+                assert body["error"] == "queue-full"
+                assert body["bound"] == 2
+                assert headers["retry-after"] == "1"
+                assert get_metrics().counter(
+                    "frontdoor.shed").value == shed_before + 1
+            finally:
+                gate.set()
+                await front_door.shutdown(drain=True)
+            # Shed submissions created no session; accepted ones all ran.
+            assert len(service.sessions()) == 3
+            for session_id in accepted:
+                assert service.status(session_id)["state"] == \
+                    SessionState.DEPLOYED
+        _run(scenario())
+
+    def test_drain_on_shutdown(self):
+        async def scenario():
+            gate = threading.Event()
+            service = _service(workers=2,
+                               tuner_factory=_gated_factory(gate))
+            front_door = await ServiceFrontDoor(
+                service, port=0, max_queue_depth=100,
+                tenant_rate=100.0, tenant_burst=100.0).start()
+            accepted = []
+            for seed in range(4):
+                status, _, body = await _post(
+                    front_door, "/sessions",
+                    dict(SUBMIT_BODY, seed=seed, tenant=f"t{seed}"))
+                assert status == 202
+                accepted.append(body["session"])
+
+            status, _, body = await _post(front_door, "/shutdown",
+                                          {"drain": True})
+            assert status == 202 and body["draining"] is True
+            # Draining: new submissions are refused while queued ones are
+            # still guaranteed to finish (the gate holds the workers, so
+            # the drain cannot have completed yet).
+            status, _, body = await _post(front_door, "/sessions",
+                                          SUBMIT_BODY)
+            assert status == 503 and body["error"] == "draining"
+
+            gate.set()
+            await asyncio.wait_for(front_door.serve_forever(), 120)
+            for session_id in accepted:
+                assert service.status(session_id)["state"] == \
+                    SessionState.DEPLOYED
+            # The listener is gone: new connections are refused.
+            with pytest.raises(OSError):
+                await http_request("127.0.0.1", front_door.port, "GET",
+                                   "/healthz", timeout=5.0)
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+class TestTraceThreading:
+    def test_one_trace_from_accept_through_deploy(self):
+        async def scenario(tracer):
+            service = _service(workers=1)
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                status, _, body = await _post(front_door, "/sessions",
+                                              SUBMIT_BODY)
+                assert status == 202
+                trace_id = body["trace"]
+                assert trace_id is not None
+                session_id = body["session"]
+                final = await _wait_terminal(front_door, session_id)
+                assert final["state"] == SessionState.DEPLOYED
+                assert final["trace"] == trace_id
+            finally:
+                await front_door.shutdown(drain=True)
+
+            span_names = {span["name"]
+                          for span in tracer.spans(trace_id=trace_id)}
+            # HTTP accept, service submit and the whole worker-side
+            # lifecycle share the single trace id allocated at accept.
+            assert {"frontdoor.request", "service.submit",
+                    "service.session", "service.training",
+                    "guard.canary"} <= span_names
+            for record in service.audit.events(session_id):
+                assert record["trace"] == trace_id
+
+        with use_tracer(Tracer()) as tracer:
+            _run(scenario(tracer))
