@@ -1,0 +1,144 @@
+"""Evaluation-economy benchmark: compression, history reuse, verification.
+
+Runs the three-arm budget sweep of :func:`repro.experiments.reuse.run_reuse`
+(full-price cold start vs compressed+staged-verification vs
+history-bootstrapped; see that module for the arms) and emits
+``BENCH_reuse.json`` with per-arm final reward, full-workload-equivalent
+evaluation counts and wall clock per session, plus the gate verdicts:
+
+* **reward tolerance** — the compressed+verified arm's final score at the
+  largest budget must be within ``TOLERANCE`` of the full arm's;
+* **evaluation cut** — the compressed arm must consume at most half the
+  full arm's full-workload-equivalent evaluations at every budget;
+* **history dominance** — the history-bootstrapped arm must beat the cold
+  start at *every* budget point of the repeat-tenant scenario.
+
+Each (arm, budget) point is the mean over ``REPEATS`` consecutive seeds —
+at smoke budgets a single RL run's final score is exploration luck, and
+the gates compare arms, not lottery tickets.  Everything is deterministic
+(noise 0, fixed seeds), so CI reruns reproduce the committed numbers.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_reuse.py --out BENCH_reuse.json
+
+``--smoke`` runs the same sweep at smoke scale and exits non-zero if any
+gate fails (the CI guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.experiments.common import BENCH, SMOKE
+from repro.experiments.reuse import ReuseResult, run_reuse
+
+TOLERANCE = 0.05    # compressed final score within 5% of full
+EVAL_CUT = 2.0      # compressed must use >= 2x fewer full-equiv evals
+REPEATS = 3
+DEFAULT_SEED = 8
+
+
+def evaluate_gates(result: ReuseResult) -> dict:
+    """The three pass/fail verdicts over the sweep's mean curves."""
+    full = result.arm("full")
+    compressed = result.arm("compressed")
+    history = result.arm("history")
+    top = max(result.budgets)
+
+    reward_ratio = (compressed[top].final_score
+                    / max(full[top].final_score, 1e-9))
+    eval_cut = {budget: (full[budget].full_equiv_evals
+                         / max(compressed[budget].full_equiv_evals, 1e-9))
+                for budget in result.budgets}
+    history_margin = {budget: (history[budget].final_score
+                               - full[budget].final_score)
+                      for budget in result.budgets}
+    return {
+        "reward_ratio": reward_ratio,
+        "reward_ok": reward_ratio >= 1.0 - TOLERANCE,
+        "eval_cut": eval_cut,
+        "eval_cut_ok": all(cut >= EVAL_CUT for cut in eval_cut.values()),
+        "history_margin": history_margin,
+        "history_ok": all(margin >= 0.0
+                          for margin in history_margin.values()),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_reuse.json",
+                        help="output JSON path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smoke scale; exit non-zero on any gate "
+                             "failure (the CI guard)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args()
+
+    scale = SMOKE if args.smoke else BENCH
+    result = run_reuse(scale, seed=args.seed, repeats=REPEATS)
+    print(result.table())
+    print(f"compression: kept {result.compression_ratio:.2f} of components, "
+          f"signature-space error {result.compression_error:.4f}")
+
+    gates = evaluate_gates(result)
+    top = max(result.budgets)
+    print(f"reward ratio (compressed/full @ budget {top}): "
+          f"{gates['reward_ratio']:.3f} "
+          f"({'OK' if gates['reward_ok'] else 'FAIL'}, floor "
+          f"{1.0 - TOLERANCE:.2f})")
+    for budget in result.budgets:
+        print(f"eval cut @ {budget}: {gates['eval_cut'][budget]:.2f}x "
+              f"(need >= {EVAL_CUT:.1f}x)   "
+              f"history margin: {gates['history_margin'][budget]:+.1f}")
+
+    payload = {
+        "benchmark": "reuse",
+        "machine": {"cpu_count": os.cpu_count()},
+        "scale": "smoke" if args.smoke else "bench",
+        "seed": args.seed,
+        "repeats": REPEATS,
+        "tolerance": TOLERANCE,
+        "eval_cut_floor": EVAL_CUT,
+        "result": result.to_dict(),
+        "gates": {
+            "reward_ratio": gates["reward_ratio"],
+            "reward_ok": gates["reward_ok"],
+            "eval_cut": {str(k): v for k, v in gates["eval_cut"].items()},
+            "eval_cut_ok": gates["eval_cut_ok"],
+            "history_margin": {str(k): v
+                               for k, v in gates["history_margin"].items()},
+            "history_ok": gates["history_ok"],
+        },
+        "notes": (
+            "full-equiv evaluations count one full-mix evaluation as 1 and "
+            "one k-of-K compressed evaluation as k/K; the compressed arm's "
+            "bill includes its staged full-mix verification batch. Scores "
+            "are throughput/latency^0.25 of the session's final "
+            "configuration re-measured on the full mix at a fixed trial. "
+            "Each point is a mean over consecutive seeds; the sweep is "
+            "deterministic per seed."
+        ),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if not (gates["reward_ok"] and gates["eval_cut_ok"]
+            and gates["history_ok"]):
+        failed = [name for name, ok in
+                  [("reward", gates["reward_ok"]),
+                   ("eval-cut", gates["eval_cut_ok"]),
+                   ("history", gates["history_ok"])] if not ok]
+        print(f"FAIL: gate(s) {', '.join(failed)} failed")
+        sys.exit(1)
+    print("OK: compressed within tolerance at >=2x fewer evaluations; "
+          "history beats cold start at every budget")
+
+
+if __name__ == "__main__":
+    main()

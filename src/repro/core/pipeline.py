@@ -18,7 +18,7 @@ per-step actor/critic update), per-phase histograms, and a
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -117,7 +117,10 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
                   convergence_window: int = CONVERGENCE_WINDOW,
                   stop_on_convergence: bool = True,
                   restore_best: bool = True,
-                  evaluator: "ParallelEvaluator | None" = None) -> TrainingResult:
+                  evaluator: "ParallelEvaluator | None" = None,
+                  warmup_seeds: np.ndarray | None = None,
+                  replay_seeds: "Sequence[Tuple[np.ndarray, float]] | None"
+                  = None) -> TrainingResult:
     """Cold-start offline training (§2.1.1).
 
     Runs try-and-error episodes against the standard-workload environment.
@@ -141,6 +144,14 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
     warmup stress tests across worker processes; results are bitwise
     identical because every evaluation is deterministic per
     (config, trial) and merely lands in the cache early.
+
+    History bootstrap (:mod:`repro.reuse.history`): ``warmup_seeds`` is a
+    ``(m, action_dim)`` matrix of known-good action vectors that replace
+    the first ``m`` latin-hypercube warmup rows, so the cold-start phase
+    measures promising regions before uniform exploration; ``replay_seeds``
+    is a list of ``(action, reward)`` pairs injected into the agent's
+    replay memory before training, anchored on the first episode's reset
+    state — neither consumes a stress test.
     """
     if max_steps <= 0 or episode_length <= 0:
         raise ValueError("max_steps and episode_length must be positive")
@@ -162,6 +173,15 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
     steps = 0
     warmup_plan = _latin_hypercube(agent.rng, max(warmup_steps, 1),
                                    env.action_dim)
+    if warmup_seeds is not None and len(warmup_seeds) > 0:
+        seeds = np.clip(np.asarray(warmup_seeds, dtype=float), 0.0, 1.0)
+        if seeds.ndim != 2 or seeds.shape[1] != env.action_dim:
+            raise ValueError(
+                f"warmup_seeds must be (m, {env.action_dim}), "
+                f"got {seeds.shape}")
+        n_seeded = min(len(seeds), len(warmup_plan))
+        warmup_plan[:n_seeded] = seeds[:n_seeded]
+    replay_seeded = 0
     # Best configuration seen across the whole run (env.best_config only
     # spans one episode); this anchors the exploit-around-best moves.
     global_best_vector: np.ndarray | None = None
@@ -225,6 +245,8 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
                         database.stress_tests - stress_tests_before)
         telemetry.count("crashes", env.crashes - crashes_before)
         telemetry.count("agent_updates", agent.train_steps)
+        if replay_seeded:
+            telemetry.count("replay_seeds", replay_seeded)
         for phase, seconds in phase_timings.items():
             telemetry.add_phase(phase, seconds)
         return TrainingResult(
@@ -251,6 +273,20 @@ def offline_train(env: TuningEnvironment, agent: DDPGAgent,
                                   phases=phase_timings, phase_key="reset"):
                 state = env.reset()
             _update_normalizer(agent, state)
+            if episodes == 1 and replay_seeds:
+                # Pre-fill the memory pool from history, anchored on the
+                # freshly measured reset state — the critic starts with a
+                # ranking over actions instead of an empty memory.
+                for seed_action, seed_reward in replay_seeds:
+                    action = np.clip(np.asarray(seed_action, dtype=float),
+                                     0.0, 1.0)
+                    if action.shape != (env.action_dim,):
+                        raise ValueError(
+                            f"replay seed action must be ({env.action_dim},),"
+                            f" got {action.shape}")
+                    agent.observe(state, action, float(seed_reward), state,
+                                  done=False)
+                    replay_seeded += 1
             agent.reset_noise()
             for _ in range(episode_length):
                 if steps >= max_steps:

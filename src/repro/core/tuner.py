@@ -108,6 +108,19 @@ class CDBTune:
                       workload: WorkloadSpec | str) -> SimulatedDatabase:
         if isinstance(workload, str):
             workload = get_workload(workload)
+        if not isinstance(workload, WorkloadSpec):
+            # A WorkloadMix (duck-typed: .name/.signature()) gets a
+            # MixDatabase, which exposes the SimulatedDatabase surface.
+            # Imported lazily: repro.reuse imports from repro.core.
+            from ..reuse.mix import MixDatabase, WorkloadMix
+            if not isinstance(workload, WorkloadMix):
+                raise TypeError(
+                    f"workload must be a WorkloadSpec, WorkloadMix or "
+                    f"name, got {type(workload).__name__}")
+            return MixDatabase(hardware, workload,
+                               registry=self.db_registry,
+                               adapter=self.adapter, noise=self.noise,
+                               seed=self.seed)
         return SimulatedDatabase(hardware, workload,
                                  registry=self.db_registry,
                                  adapter=self.adapter, noise=self.noise,

@@ -58,6 +58,7 @@ from .service_adaptability import (
     ServiceSessionRow,
     run_service,
 )
+from .reuse import ReuseResult, ReuseRow, run_reuse
 
 #: Registry mapping experiment ids to their drivers (DESIGN.md index).
 EXPERIMENTS = {
@@ -80,6 +81,7 @@ EXPERIMENTS = {
     "fig17": run_fig17_postgres,
     "fig18": run_fig18_local_mysql,
     "service": run_service,
+    "reuse": run_reuse,
 }
 
 __all__ = [
@@ -137,5 +139,8 @@ __all__ = [
     "ServiceAdaptabilityResult",
     "ServiceSessionRow",
     "run_service",
+    "ReuseResult",
+    "ReuseRow",
+    "run_reuse",
     "EXPERIMENTS",
 ]

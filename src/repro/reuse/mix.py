@@ -1,0 +1,346 @@
+"""Workload mixes: weighted combinations of workloads over time slices.
+
+A real tenant's traffic is rarely one clean benchmark: it is a *mix* —
+an OLTP backbone with nightly analytics, a cache-miss heavy morning and a
+write-heavy evening.  :class:`WorkloadMix` models that as a sequence of
+:class:`TimeSlice`\\ s, each holding weighted
+:class:`~repro.dbsim.workload.WorkloadSpec` components.  The mix exposes
+the same two capabilities a single spec does — a resource-demand
+``signature()`` for workload matching and stress-test evaluation — so
+every consumer of a spec (the tuner, the model registry, the tuning
+service) accepts a mix transparently.
+
+:class:`MixDatabase` is the evaluation side: it owns one
+:class:`~repro.dbsim.engine.SimulatedDatabase` per distinct component and
+scores a configuration as the weighted combination of the per-component
+results, batched through each member's vectorized ``evaluate_many``.
+Replaying a K-component mix costs K stress tests per evaluation — the
+bill :mod:`repro.reuse.compress` exists to cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..dbsim.engine import DatabaseObservation, SimulatedDatabase
+from ..dbsim.hardware import HardwareSpec
+from ..dbsim.knobs import KnobRegistry
+from ..dbsim.mysql_knobs import mysql_registry
+from ..dbsim.workload import WorkloadSpec, get_workload
+from ..obs import get_metrics, get_tracer
+from ..rl.reward import PerformanceSample
+
+__all__ = ["MixComponent", "TimeSlice", "WorkloadMix", "MixDatabase"]
+
+
+@dataclass(frozen=True)
+class MixComponent:
+    """One workload inside a slice, with its share of the slice's traffic."""
+
+    spec: WorkloadSpec
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec, WorkloadSpec):
+            raise TypeError(f"spec must be a WorkloadSpec, got {self.spec!r}")
+        if not self.weight > 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
+class TimeSlice:
+    """A stretch of the tenant's day with a stable component mixture.
+
+    ``duration`` is the slice's relative length (hours, fraction of a day —
+    any consistent unit); it weights the slice against its siblings when
+    the mix is flattened or fingerprinted.
+    """
+
+    components: Tuple[MixComponent, ...]
+    duration: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a time slice needs at least one component")
+        object.__setattr__(self, "components", tuple(self.components))
+        if not self.duration > 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def normalized(self) -> List[Tuple[WorkloadSpec, float]]:
+        """Components with weights renormalized to sum to 1."""
+        total = sum(component.weight for component in self.components)
+        return [(component.spec, component.weight / total)
+                for component in self.components]
+
+
+class WorkloadMix:
+    """Weighted workload components over time slices, evaluated as one.
+
+    The mix behaves like a :class:`~repro.dbsim.workload.WorkloadSpec`
+    wherever one is matched or fingerprinted: it has a ``name`` and a
+    ``signature()`` (the duration- and weight-averaged component
+    signature), so the model registry's nearest-workload warm start and
+    the history store's nearest-signature lookup treat mixes and plain
+    specs uniformly.
+    """
+
+    def __init__(self, name: str, slices: Sequence[TimeSlice]) -> None:
+        if not slices:
+            raise ValueError("a workload mix needs at least one time slice")
+        self.name = str(name)
+        self.slices: Tuple[TimeSlice, ...] = tuple(slices)
+        for entry in self.slices:
+            if not isinstance(entry, TimeSlice):
+                raise TypeError(f"expected TimeSlice, got {entry!r}")
+
+    # -- construction helpers ---------------------------------------------
+    @classmethod
+    def single(cls, spec: "WorkloadSpec | str",
+               name: str | None = None) -> "WorkloadMix":
+        """Wrap one plain workload as a one-slice, one-component mix."""
+        if isinstance(spec, str):
+            spec = get_workload(spec)
+        return cls(name if name is not None else spec.name,
+                   [TimeSlice(components=(MixComponent(spec),))])
+
+    @classmethod
+    def weighted(cls, name: str,
+                 components: Sequence[Tuple["WorkloadSpec | str", float]],
+                 ) -> "WorkloadMix":
+        """One-slice mix from ``(spec, weight)`` pairs."""
+        resolved = tuple(
+            MixComponent(get_workload(s) if isinstance(s, str) else s, w)
+            for s, w in components)
+        return cls(name, [TimeSlice(components=resolved)])
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def n_components(self) -> int:
+        """Total component count across all slices (before merging)."""
+        return sum(len(entry.components) for entry in self.slices)
+
+    def flatten(self) -> List[Tuple[WorkloadSpec, float]]:
+        """Distinct specs with effective weights summing to 1.
+
+        A component's effective weight is its slice's duration share times
+        its within-slice weight share; the same spec appearing in several
+        slices is merged (weights added), keeping first-appearance order.
+        """
+        total_duration = sum(entry.duration for entry in self.slices)
+        merged: "Dict[WorkloadSpec, float]" = {}
+        order: List[WorkloadSpec] = []
+        for entry in self.slices:
+            share = entry.duration / total_duration
+            for spec, weight in entry.normalized():
+                if spec not in merged:
+                    merged[spec] = 0.0
+                    order.append(spec)
+                merged[spec] += share * weight
+        return [(spec, merged[spec]) for spec in order]
+
+    def signature(self) -> Dict[str, float]:
+        """Aggregate resource-demand fingerprint (weighted mean).
+
+        Comparable with plain :meth:`WorkloadSpec.signature` dicts via
+        :func:`~repro.dbsim.workload.signature_distance` — a mix that is
+        90 % sysbench-rw fingerprints close to sysbench-rw itself.
+        """
+        aggregate: Dict[str, float] = {}
+        for spec, weight in self.flatten():
+            for key, value in spec.signature().items():
+                aggregate[key] = aggregate.get(key, 0.0) + weight * value
+        return aggregate
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "slices": [
+                {
+                    "label": entry.label,
+                    "duration": entry.duration,
+                    "components": [
+                        {"weight": component.weight,
+                         "spec": asdict(component.spec)}
+                        for component in entry.components
+                    ],
+                }
+                for entry in self.slices
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "WorkloadMix":
+        slices = []
+        for raw in data["slices"]:  # type: ignore[union-attr]
+            components = tuple(
+                MixComponent(spec=WorkloadSpec(**entry["spec"]),
+                             weight=float(entry["weight"]))
+                for entry in raw["components"])
+            slices.append(TimeSlice(components=components,
+                                    duration=float(raw.get("duration", 1.0)),
+                                    label=str(raw.get("label", ""))))
+        return cls(str(data["name"]), slices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WorkloadMix):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{spec.name}:{weight:.2f}"
+                          for spec, weight in self.flatten())
+        return f"WorkloadMix({self.name!r}, {parts})"
+
+
+class MixDatabase:
+    """Evaluates configurations against every component of a mix.
+
+    Duck-types the slice of :class:`~repro.dbsim.engine.SimulatedDatabase`
+    the tuning stack consumes — ``registry``, ``default_config``,
+    ``evaluate``, ``evaluate_many``, ``replica`` and the evaluation
+    counters — so a :class:`~repro.core.environment.TuningEnvironment` or
+    the safety guard's canary runs against a mix unchanged.
+
+    The aggregate observation is the time-share weighted mean of the
+    component results (throughput, latency and the 63 internal metrics);
+    the raw :class:`~repro.dbsim.metrics.EngineSnapshot` carried along is
+    the dominant (highest-weight) component's.  A crash of *any*
+    component crashes the mix evaluation — the instance serving the mix
+    is one instance.
+
+    ``evaluations`` counts mix-level evaluations;
+    ``component_evaluations`` the underlying per-component ones
+    (``evaluations × n_components`` absent crashes) — the currency the
+    compression benchmark reports as full-workload-equivalent cost.
+    """
+
+    def __init__(self, hardware: HardwareSpec, mix: WorkloadMix,
+                 registry: KnobRegistry | None = None,
+                 adapter: Mapping[str, str] | None = None,
+                 noise: float = 0.015, seed: int = 0,
+                 cache_size: int = 2048) -> None:
+        self.hardware = hardware
+        self.mix = mix
+        self.registry = registry if registry is not None else mysql_registry()
+        self.noise = float(noise)
+        self.seed = int(seed)
+        self.cache_size = int(cache_size)
+        self._adapter = dict(adapter) if adapter is not None else None
+        flattened = mix.flatten()
+        self._weights = np.asarray([weight for _, weight in flattened])
+        self._members = [
+            SimulatedDatabase(hardware, spec, registry=self.registry,
+                              adapter=adapter, noise=noise, seed=seed,
+                              cache_size=cache_size)
+            for spec, _ in flattened
+        ]
+        self._dominant = int(np.argmax(self._weights))
+        self.evaluations = 0        # mix-level evaluate()/evaluate_many items
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def workload(self) -> WorkloadMix:
+        return self.mix
+
+    @property
+    def n_components(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> List[SimulatedDatabase]:
+        return list(self._members)
+
+    @property
+    def component_evaluations(self) -> int:
+        return sum(member.evaluations for member in self._members)
+
+    @property
+    def stress_tests(self) -> int:
+        return sum(member.stress_tests for member in self._members)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(member.cache_hits for member in self._members)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(member.cache_misses for member in self._members)
+
+    def default_config(self) -> Dict[str, float]:
+        return self.registry.defaults()
+
+    def replica(self) -> "MixDatabase":
+        """Fresh instance with identical construction parameters."""
+        return MixDatabase(self.hardware, self.mix, registry=self.registry,
+                           adapter=self._adapter, noise=self.noise,
+                           seed=self.seed, cache_size=self.cache_size)
+
+    # -- evaluation --------------------------------------------------------
+    def _combine(self, observations: Sequence[DatabaseObservation],
+                 ) -> DatabaseObservation:
+        weights = self._weights
+        throughput = float(np.dot(weights, [obs.throughput
+                                            for obs in observations]))
+        latency = float(np.dot(weights, [obs.latency
+                                         for obs in observations]))
+        metrics = np.zeros_like(observations[0].metrics, dtype=np.float64)
+        for weight, obs in zip(weights, observations):
+            metrics += weight * np.asarray(obs.metrics, dtype=np.float64)
+        return DatabaseObservation(
+            performance=PerformanceSample(throughput=throughput,
+                                          latency=latency),
+            metrics=metrics,
+            snapshot=observations[self._dominant].snapshot)
+
+    def evaluate(self, config: Mapping[str, float],
+                 trial: int = 0) -> DatabaseObservation:
+        """One stress test of every component, aggregated by time share.
+
+        Raises :class:`~repro.dbsim.errors.DatabaseCrashError` when any
+        component lands in the crash region (the crash rule depends on
+        knobs and hardware, not the workload, so in practice all
+        components agree).
+        """
+        get_metrics().counter("reuse.mix_evaluations").inc()
+        self.evaluations += 1
+        with get_tracer().span("mix.evaluate", components=len(self._members),
+                               trial=int(trial)):
+            observations = [member.evaluate(config, trial=trial)
+                            for member in self._members]
+        return self._combine(observations)
+
+    def evaluate_many(self, configs: Sequence[Mapping[str, float]],
+                      trials: "int | Sequence[int] | None" = None,
+                      ) -> List["DatabaseObservation | None"]:
+        """Vectorized batch: one ``evaluate_many`` pass per component.
+
+        Returns one aggregate observation per config, ``None`` where any
+        component crashed — mirroring
+        :meth:`~repro.dbsim.engine.SimulatedDatabase.evaluate_many`.
+        """
+        if not configs:
+            return []
+        self.evaluations += len(configs)
+        get_metrics().counter("reuse.mix_evaluations").inc(len(configs))
+        with get_tracer().span("mix.evaluate_many", n=len(configs),
+                               components=len(self._members)):
+            per_member = [member.evaluate_many(configs, trials=trials)
+                          for member in self._members]
+        results: List["DatabaseObservation | None"] = []
+        for index in range(len(configs)):
+            column = [member_results[index] for member_results in per_member]
+            if any(obs is None for obs in column):
+                results.append(None)
+            else:
+                results.append(self._combine(column))
+        return results
+
+    def __repr__(self) -> str:
+        return (f"MixDatabase({self.mix.name!r}, "
+                f"components={self.n_components}, "
+                f"hardware={self.hardware.name!r})")

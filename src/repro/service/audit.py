@@ -9,6 +9,13 @@ operator can reconstruct any session after the fact.
 Events carry a monotonically increasing ``seq`` instead of wall-clock
 timestamps by default, so audit trails of seeded runs are reproducible
 byte for byte; pass ``wallclock=True`` to add an ``ts`` field.
+
+Persistence keeps one append handle open across emissions (reopening the
+file per event serializes every worker thread on filesystem open/close
+under the global lock) and flushes after each record, so the JSONL tail
+is durable up to the last emit even if the process dies.  Call
+:meth:`close` — or use the log as a context manager — to release the
+handle; the next ``emit`` transparently reopens it.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 from typing import Dict, Iterator, List
 
 __all__ = ["AuditLog"]
@@ -46,6 +54,7 @@ class AuditLog:
         self.wallclock = bool(wallclock)
         self._events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
+        self._handle = None
 
     def emit(self, session_id: str, event: str, **fields: object) -> Dict[str, object]:
         """Record one event; returns the stored record."""
@@ -54,16 +63,36 @@ class AuditLog:
             "event": str(event),
         }
         if self.wallclock:
-            import time
             record["ts"] = time.time()
         record.update({str(k): _jsonable(v) for k, v in fields.items()})
         with self._lock:
             record = {"seq": len(self._events), **record}
             self._events.append(record)
             if self.path is not None:
-                with open(self.path, "a", encoding="utf-8") as handle:
-                    handle.write(json.dumps(record, sort_keys=False) + "\n")
+                if self._handle is None:
+                    self._handle = open(self.path, "a", encoding="utf-8")
+                self._handle.write(json.dumps(record, sort_keys=False) + "\n")
+                self._handle.flush()
         return record
+
+    def close(self) -> None:
+        """Release the persistent append handle (emit reopens on demand)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "AuditLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - best-effort at teardown
+            pass
 
     # -- introspection -----------------------------------------------------
     def events(self, session_id: str | None = None,

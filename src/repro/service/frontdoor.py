@@ -66,7 +66,8 @@ _REASONS = {
 _REQUEST_FIELDS = frozenset({
     "workload", "hardware", "tenant", "priority", "train_steps",
     "tune_steps", "current_config", "seed", "noise", "eval_workers",
-    "warm_start", "train_kwargs",
+    "warm_start", "train_kwargs", "compress", "compress_components",
+    "reuse_history", "history_seeds", "history_replay", "verify_top_k",
 })
 
 

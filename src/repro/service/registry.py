@@ -77,10 +77,25 @@ class ModelEntry:
 
 
 class ModelRegistry:
-    """Disk-backed, thread-safe catalog of trained tuning models."""
+    """Disk-backed, thread-safe catalog of trained tuning models.
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    ``workload_weight`` and ``hardware_weight`` scale the two components
+    of :meth:`distance`.  Unweighted summing lets a large signature gap
+    silently mask a hardware mismatch (and vice versa); a deployment that
+    cares more about one axis — e.g. a fleet of identical instance types
+    where only workloads differ — tilts the match accordingly.
+    """
+
+    def __init__(self, root: str | os.PathLike,
+                 workload_weight: float = 1.0,
+                 hardware_weight: float = 1.0) -> None:
+        if workload_weight < 0 or hardware_weight < 0:
+            raise ValueError("distance weights must be non-negative")
+        if workload_weight == 0 and hardware_weight == 0:
+            raise ValueError("at least one distance weight must be positive")
         self.root = os.fspath(root)
+        self.workload_weight = float(workload_weight)
+        self.hardware_weight = float(hardware_weight)
         os.makedirs(os.path.join(self.root, _MODEL_DIR), exist_ok=True)
         self._lock = threading.RLock()
         self._entries: List[ModelEntry] = []
@@ -171,11 +186,19 @@ class ModelRegistry:
         with self._lock:
             return len(self._entries)
 
+    def distance_components(self, entry: ModelEntry, workload: WorkloadSpec,
+                            hardware: HardwareSpec) -> Tuple[float, float]:
+        """Unweighted ``(workload_distance, hardware_distance)`` of a match."""
+        return (signature_distance(entry.signature, workload.signature()),
+                hardware_distance(entry.hardware_spec(), hardware))
+
     def distance(self, entry: ModelEntry, workload: WorkloadSpec,
                  hardware: HardwareSpec) -> float:
-        """Combined workload + hardware distance of ``entry`` to a request."""
-        return (signature_distance(entry.signature, workload.signature())
-                + hardware_distance(entry.hardware_spec(), hardware))
+        """Weighted workload + hardware distance of ``entry`` to a request."""
+        workload_dist, hardware_dist = self.distance_components(
+            entry, workload, hardware)
+        return (self.workload_weight * workload_dist
+                + self.hardware_weight * hardware_dist)
 
     def find_nearest(self, workload: WorkloadSpec, hardware: HardwareSpec,
                      state_dim: int | None = None,
@@ -209,8 +232,12 @@ class ModelRegistry:
             if best_entry is None or best is None:
                 span.set_tag("match", None)
                 return None
+            workload_dist, hardware_dist = self.distance_components(
+                best_entry, workload, hardware)
             span.set_tag("match", best_entry.model_id)
             span.set_tag("distance", round(best[0], 6))
+            span.set_tag("workload_distance", round(workload_dist, 6))
+            span.set_tag("hardware_distance", round(hardware_dist, 6))
             return best_entry, best[0]
 
     # -- loading -----------------------------------------------------------

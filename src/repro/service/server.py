@@ -46,6 +46,11 @@ from ..core.tuner import CDBTune
 from ..dbsim.hardware import HardwareSpec
 from ..dbsim.workload import WorkloadSpec, get_workload
 from ..obs import get_logger, get_metrics, get_tracer, profile_block
+from ..reuse.compress import CompressionResult, WorkloadCompressor
+from ..reuse.history import HistoryStore
+from ..reuse.mix import WorkloadMix
+from ..reuse.verify import (ConfigVerifier, VerificationResult,
+                            performance_score)
 
 logger = get_logger(__name__)
 
@@ -89,10 +94,18 @@ class TuningRequest:
     ``tenant`` defaults to ``workload@hardware`` — the paper's notion of a
     tuning task (a workload on an instance type).  Higher ``priority``
     values are served first; ties go to submission order.
+
+    ``workload`` may be a :class:`~repro.reuse.mix.WorkloadMix` (or a mix
+    dict through the front door).  The evaluation-economy options:
+    ``compress`` tunes on a compressed mix and stage-verifies the top
+    ``verify_top_k`` candidates on the full workload before the canary;
+    ``reuse_history`` bootstraps warmup probes (``history_seeds``) and the
+    replay buffer (``history_replay``) from the service's
+    :class:`~repro.reuse.history.HistoryStore`.
     """
 
     hardware: HardwareSpec
-    workload: WorkloadSpec | str
+    workload: WorkloadSpec | WorkloadMix | str
     tenant: str | None = None
     priority: int = 0
     train_steps: int = 60
@@ -102,11 +115,19 @@ class TuningRequest:
     noise: float = 0.015
     eval_workers: int = 1          # >1 prefetches warmup via ParallelEvaluator
     warm_start: bool = True
+    compress: bool = False         # tune on compressed mix, stage-verify
+    compress_components: int | None = None  # per-slice budget (None: coverage)
+    reuse_history: bool = False    # bootstrap from the service history store
+    history_seeds: int = 6         # warmup probes seeded from history
+    history_replay: int = 24       # replay transitions pre-filled from history
+    verify_top_k: int = 3          # candidates promoted to full-mix batch
     train_kwargs: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if isinstance(self.workload, str):
             self.workload = get_workload(self.workload)
+        elif isinstance(self.workload, dict):
+            self.workload = WorkloadMix.from_dict(self.workload)
         if self.tenant is None:
             self.tenant = f"{self.workload.name}@{self.hardware.name}"
         # Coerce numeric fields up front (requests arrive as parsed JSON
@@ -117,8 +138,21 @@ class TuningRequest:
         self.tune_steps = int(self.tune_steps)
         self.seed = int(self.seed)
         self.noise = float(self.noise)
+        self.compress = bool(self.compress)
+        if self.compress_components is not None:
+            self.compress_components = int(self.compress_components)
+            if self.compress_components < 1:
+                raise ValueError("compress_components must be at least 1")
+        self.reuse_history = bool(self.reuse_history)
+        self.history_seeds = int(self.history_seeds)
+        self.history_replay = int(self.history_replay)
+        self.verify_top_k = int(self.verify_top_k)
         if self.train_steps <= 0 or self.tune_steps <= 0:
             raise ValueError("train_steps and tune_steps must be positive")
+        if self.verify_top_k <= 0:
+            raise ValueError("verify_top_k must be positive")
+        if self.history_seeds < 0 or self.history_replay < 0:
+            raise ValueError("history_seeds and history_replay must be >= 0")
 
 
 class TuningSession:
@@ -143,6 +177,9 @@ class TuningSession:
         self.deployed = False
         self.trace_id: str | None = None
         self.phase_seconds: Dict[str, float] = {}
+        self.compression: CompressionResult | None = None
+        self.verification: VerificationResult | None = None
+        self.history_seeded: Dict[str, object] | None = None
 
     # -- state machine -----------------------------------------------------
     @property
@@ -164,7 +201,7 @@ class TuningSession:
             state = self._state
             history = list(self.state_history)
         workload = self.request.workload
-        assert isinstance(workload, WorkloadSpec)
+        assert not isinstance(workload, str)  # resolved in __post_init__
         snapshot: Dict[str, object] = {
             "id": self.id,
             "tenant": self.request.tenant,
@@ -191,6 +228,17 @@ class TuningSession:
                 self.tuning.throughput_improvement)
         if self.verdict is not None:
             snapshot["canary"] = self.verdict.as_dict()
+        if self.compression is not None:
+            snapshot["compression"] = {
+                "components_kept": self.compression.components_kept,
+                "components_total": self.compression.components_total,
+                "ratio": self.compression.compression_ratio,
+                "error_estimate": self.compression.error_estimate,
+            }
+        if self.verification is not None:
+            snapshot["verification"] = self.verification.to_dict()
+        if self.history_seeded is not None:
+            snapshot["history_bootstrap"] = dict(self.history_seeded)
         return snapshot
 
     def report(self) -> SessionReport:
@@ -204,7 +252,7 @@ class TuningSession:
             state = self._state
             history = list(self.state_history)
         workload = self.request.workload
-        assert isinstance(workload, WorkloadSpec)
+        assert not isinstance(workload, str)  # resolved in __post_init__
         telemetry = Telemetry(trace_id=self.trace_id)
         if self.training is not None:
             telemetry = telemetry.merge(self.training.telemetry)
@@ -255,6 +303,12 @@ class TuningService:
         default SLA.
     audit:
         Audit log; defaults to in-memory only.
+    history:
+        Tuning-history store backing ``reuse_history`` sessions; defaults
+        to a fresh in-memory store that accumulates every session this
+        service completes.  Pre-populate it (e.g.
+        :meth:`HistoryStore.from_audit` over yesterday's JSONL) to let
+        the first session of the day bootstrap warm.
     workers:
         Worker-thread count — the number of sessions tuned concurrently.
     warm_start_max_distance:
@@ -275,6 +329,7 @@ class TuningService:
     def __init__(self, registry: ModelRegistry | None = None,
                  guard: SafetyGuard | None = None,
                  audit: AuditLog | None = None,
+                 history: HistoryStore | None = None,
                  workers: int = 2,
                  warm_start_max_distance: float = 0.35,
                  warm_start_budget_frac: float = 0.5,
@@ -287,6 +342,7 @@ class TuningService:
         self.registry = registry
         self.guard = guard if guard is not None else SafetyGuard()
         self.audit = audit if audit is not None else AuditLog()
+        self.history = history if history is not None else HistoryStore()
         self.workers = int(workers)
         self.warm_start_max_distance = float(warm_start_max_distance)
         self.warm_start_budget_frac = float(warm_start_budget_frac)
@@ -391,7 +447,8 @@ class TuningService:
                         workload=request.workload.name,
                         hardware=request.hardware.name,
                         priority=request.priority,
-                        train_steps=request.train_steps)
+                        train_steps=request.train_steps,
+                        signature=request.workload.signature())
         if self.autostart and not self._started:
             self.start()
         return session.id
@@ -524,7 +581,7 @@ class TuningService:
         """
         request = session.request
         workload = request.workload
-        assert isinstance(workload, WorkloadSpec)
+        assert not isinstance(workload, str)  # resolved in __post_init__
         if self.registry is None or not request.warm_start:
             return None, tuner
         match = self.registry.find_nearest(
@@ -564,8 +621,8 @@ class TuningService:
 
     def _process(self, session: TuningSession) -> None:
         request = session.request
-        workload = request.workload
-        assert isinstance(workload, WorkloadSpec)
+        workload = request.workload            # the full tenant workload
+        assert not isinstance(workload, str)  # resolved in __post_init__
         tenant = str(request.tenant)
         tracer = get_tracer()
 
@@ -596,6 +653,51 @@ class TuningService:
                 if self.guard.seed_baseline_if_absent(tenant, baseline):
                     self._audit(session, "baseline-seeded", tenant=tenant)
 
+                # Evaluation economy: compress the workload for the
+                # training/tuning loop and bootstrap from history.  The
+                # full workload stays authoritative for warm-start
+                # matching, verification, the canary and registration.
+                tuning_workload = workload
+                train_kwargs = dict(request.train_kwargs)
+                if request.compress:
+                    mix = (workload if isinstance(workload, WorkloadMix)
+                           else WorkloadMix.single(workload))
+                    compressor = WorkloadCompressor(
+                        max_components=request.compress_components)
+                    session.compression = compressor.compress(mix)
+                    tuning_workload = session.compression.mix
+                    get_metrics().counter(
+                        "service.compressions",
+                        help="Sessions tuned on a compressed mix").inc()
+                    self._audit(
+                        session, "compressed",
+                        components_kept=session.compression.components_kept,
+                        components_total=session.compression.components_total,
+                        ratio=round(session.compression.compression_ratio, 4),
+                        error_estimate=round(
+                            session.compression.error_estimate, 6))
+                if request.reuse_history:
+                    bootstrap = self.history.bootstrap(
+                        workload.signature(), tuner.registry,
+                        seeds=max(request.history_seeds, 1),
+                        replay=max(request.history_replay, 1))
+                    warmup_seeds = bootstrap["warmup_seeds"]
+                    replay_seeds = bootstrap["replay_seeds"]
+                    if request.history_seeds > 0 and len(warmup_seeds):
+                        train_kwargs.setdefault("warmup_seeds", warmup_seeds)
+                    if request.history_replay > 0 and replay_seeds:
+                        train_kwargs.setdefault("replay_seeds", replay_seeds)
+                    session.history_seeded = {
+                        "warmup_seeds": int(len(warmup_seeds)),
+                        "replay_seeds": int(len(replay_seeds)),
+                        "nearest_distance": bootstrap["nearest_distance"],
+                    }
+                    get_metrics().counter(
+                        "service.history_bootstraps",
+                        help="Sessions bootstrapped from tuning history").inc()
+                    self._audit(session, "history-bootstrap",
+                                **session.history_seeded)
+
             # TRAINING: offline training (full budget cold, reduced budget
             # warm) followed by the online tuning steps of §2.1.2.
             session._transition(SessionState.TRAINING)
@@ -604,11 +706,11 @@ class TuningService:
                                   phases=session.phase_seconds,
                                   phase_key="training"):
                 session.training = tuner.offline_train(
-                    request.hardware, workload,
+                    request.hardware, tuning_workload,
                     max_steps=session.train_budget,
                     workers=(request.eval_workers
                              if request.eval_workers > 1 else None),
-                    **request.train_kwargs)
+                    **train_kwargs)
             self._audit(
                 session, "training-finished",
                 steps=session.training.steps,
@@ -622,34 +724,86 @@ class TuningService:
                     profile_block("service.tuning",
                                   phases=session.phase_seconds,
                                   phase_key="tuning"):
-                session.tuning = tuner.tune(request.hardware, workload,
+                session.tuning = tuner.tune(request.hardware, tuning_workload,
                                             steps=request.tune_steps,
                                             initial_config=deployed_config)
+
+            # Staged verification: when the session tuned on a genuinely
+            # compressed mix, promote the top candidates to one full-mix
+            # batch and recommend the verified winner (falling back to the
+            # compressed-mix best if every promoted candidate crashed).
+            best_config = session.tuning.best_config
+            best_perf = session.tuning.best
+            if (session.compression is not None
+                    and session.compression.compressed):
+                with tracer.span("service.verify",
+                                 top_k=request.verify_top_k), \
+                        profile_block("service.verify",
+                                      phases=session.phase_seconds,
+                                      phase_key="verify"):
+                    full_db = tuner.make_database(request.hardware, workload)
+                    candidates = [
+                        (record.knobs,
+                         performance_score(record.performance))
+                        for record in session.tuning.records
+                        if not record.crashed]
+                    candidates.append(
+                        (session.tuning.best_config,
+                         performance_score(session.tuning.best)))
+                    verifier = ConfigVerifier(full_db,
+                                              top_k=request.verify_top_k)
+                    session.verification = verifier.verify(candidates)
+                get_metrics().counter(
+                    "service.verifications",
+                    help="Staged full-mix verification batches run").inc()
+                winner = session.verification.winner_performance
+                self._audit(
+                    session, "verified",
+                    considered=session.verification.considered,
+                    promoted=session.verification.promoted,
+                    verified=session.verification.verified,
+                    winner_throughput=(winner.throughput
+                                       if winner is not None else None),
+                    winner_latency=(winner.latency
+                                    if winner is not None else None))
+                if session.verification.winner_config is not None:
+                    best_config = session.verification.winner_config
+                    best_perf = session.verification.winner_performance
+
             session.recommendation = tuner.recommender.from_config(
-                session.tuning.best_config)
+                best_config)
             session._transition(SessionState.RECOMMENDED)
             self._audit(
                 session, "recommended",
-                best_throughput=session.tuning.best.throughput,
-                best_latency=session.tuning.best.latency,
+                best_throughput=best_perf.throughput,
+                best_latency=best_perf.latency,
                 improvement=session.tuning.throughput_improvement)
 
             # Register the fine-tuned model for future warm starts, whatever
             # the canary decides — the model is knowledge, not a deployment.
+            # The best (verified, when staged) config rides along in the
+            # metadata so HistoryStore.from_registry can mine it later.
             if self.registry is not None:
-                best = session.tuning.best
                 registered = self.registry.register(
                     tuner, workload, request.hardware,
                     train_steps=session.training.steps,
-                    best_throughput=best.throughput,
-                    best_latency=best.latency,
+                    best_throughput=best_perf.throughput,
+                    best_latency=best_perf.latency,
                     parent=session.warm_started_from,
-                    metadata={"session": session.id, "tenant": tenant},
+                    metadata={"session": session.id, "tenant": tenant,
+                              "best_config": dict(best_config)},
                     model_id=(f"{workload.name}-{request.hardware.name}-"
                               f"{session.id}"))
                 session.model_id = registered.model_id
                 self._audit(session, "model-registered",
                             model=registered.model_id)
+
+            # Grow the service's in-memory history with this session's
+            # evaluations so later reuse_history sessions bootstrap from
+            # it without re-mining the audit file.
+            self.history.add_result(workload.signature(), session.tuning,
+                                    source=f"session:{session.id}",
+                                    workload=workload.name)
 
             # Canary + deployment: the recommendation must beat the tenant's
             # live configuration on a replica before it goes live.
