@@ -1,6 +1,6 @@
 """Service-layer load benchmark → ``BENCH_service.json``.
 
-Two phases, both sized so the whole run fits in CI:
+Three phases, all sized so the whole run fits in CI:
 
 * **Stress** (in-process): ≥50 threads submit concurrently — several per
   tenant, racing the same-tenant baseline seeding — while reader threads
@@ -16,14 +16,21 @@ Two phases, both sized so the whole run fits in CI:
   until the session is first observed RECOMMENDED or beyond), the HTTP
   submit round-trip, the **shed rate**, and the **queue-depth curve**
   sampled from ``GET /metrics``.
+* **Sharded** (multiprocess): a throughput-vs-shards curve over
+  :class:`ShardedTuningService` worker *processes* (the single-process
+  service is the 1-shard baseline), then a **recovery drill**: submit a
+  batch, SIGKILL one shard with acknowledged sessions on it, and verify
+  the supervisor's audit replay loses none of them.
 
 Run from the repository root::
 
     PYTHONPATH=src python benchmarks/bench_service_load.py --out BENCH_service.json
 
-``--smoke`` shrinks both phases and exits non-zero when any invariant
-breaks — shed rate above zero at nominal load, a dead worker thread, a
-stress-phase ``RuntimeError`` or a duplicated baseline (the CI guard).
+``--phase {core,sharded,all}`` selects phases.  ``--smoke`` shrinks all
+phases and exits non-zero when any invariant breaks — shed rate above
+zero at nominal load, a dead worker thread, a stress-phase
+``RuntimeError``, a duplicated baseline, or **any acknowledged session
+lost** after the forced shard kill (the CI guard).
 """
 
 from __future__ import annotations
@@ -31,14 +38,24 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import signal
 import sys
+import tempfile
 import threading
 import time
 from typing import Dict, List
 
 from repro.core.tuner import CDBTune
 from repro.dbsim.hardware import CDB_A
-from repro.service import SessionState, TuningRequest, TuningService
+from repro.obs import get_metrics
+from repro.service import (
+    AuditLog,
+    SessionState,
+    ShardedTuningService,
+    TuningRequest,
+    TuningService,
+)
 from repro.service.frontdoor import ServiceFrontDoor, http_request
 
 TRAIN_KWARGS = {"probe_every": 1000, "episode_length": 2,
@@ -298,9 +315,141 @@ async def run_load(sessions: int, tenants: int, workers: int,
 
 
 # ---------------------------------------------------------------------------
+# Phase 3: multiprocess sharding — throughput curve and recovery drill
+# ---------------------------------------------------------------------------
+def _shard_factory(index: int, audit: AuditLog) -> TuningService:
+    return TuningService(audit=audit, workers=1, tuner_factory=tiny_tuner)
+
+
+def _shard_request(tenant: str, seed: int, train_steps: int) -> TuningRequest:
+    return TuningRequest(hardware=CDB_A, workload="sysbench-rw",
+                         tenant=tenant, seed=seed, noise=0.0,
+                         train_steps=train_steps, tune_steps=1,
+                         train_kwargs=dict(TRAIN_KWARGS))
+
+
+def run_sharded_throughput(shard_counts: List[int], sessions: int,
+                           tenants: int, train_steps: int,
+                           ) -> List[Dict[str, object]]:
+    """One arm per shard count: same batch, wall clock to drain it."""
+    arms: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+            service = ShardedTuningService(
+                shards=shards, shard_factory=_shard_factory,
+                audit_path=os.path.join(tmp, "audit.jsonl"),
+                heartbeat_interval=0.5)
+            with service:
+                started = time.perf_counter()
+                for index in range(sessions):
+                    service.submit(_shard_request(
+                        f"tenant-{index % tenants}", seed=index,
+                        train_steps=train_steps))
+                service.drain(timeout=600)
+                wall_s = time.perf_counter() - started
+                terminal = sum(1 for status in service.sessions()
+                               if status["state"] in SessionState.TERMINAL)
+                workers_alive = service.workers_alive()
+        arms.append({
+            "shards": shards,
+            "sessions": sessions,
+            "tenants": tenants,
+            "train_steps": train_steps,
+            "wall_s": round(wall_s, 3),
+            "sessions_per_s": round(sessions / wall_s, 2),
+            "terminal": terminal,
+            "workers_alive": workers_alive,
+            "ok": terminal == sessions and workers_alive == shards,
+        })
+    if arms:
+        base = arms[0]["sessions_per_s"] or 1.0
+        for arm in arms:
+            arm["speedup_vs_first"] = round(arm["sessions_per_s"] / base, 2)
+    return arms
+
+
+def run_shard_recovery(shards: int, sessions: int,
+                       train_steps: int) -> Dict[str, object]:
+    """SIGKILL one shard mid-batch; count what the replay brought back."""
+    respawns_before = get_metrics().counter("service.shard_respawns").value
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp:
+        service = ShardedTuningService(
+            shards=shards, shard_factory=_shard_factory,
+            audit_path=os.path.join(tmp, "audit.jsonl"),
+            heartbeat_interval=0.2)
+        started = time.perf_counter()
+        with service:
+            ids = [service.submit(_shard_request(f"tenant-{index}",
+                                                 seed=index,
+                                                 train_steps=train_steps))
+                   for index in range(sessions)]
+            victim = service.shard_for("tenant-0")
+            killed_pid = service.shard_pid(victim)
+            os.kill(killed_pid, signal.SIGKILL)
+            service.drain(timeout=600)
+            wall_s = time.perf_counter() - started
+            lost = [sid for sid in ids
+                    if service.status(sid)["state"]
+                    not in SessionState.TERMINAL]
+            respawned_pid = service.shard_pid(victim)
+            events = AuditLog.read_jsonl(service.audit_path)
+    acknowledged = sum(1 for event in events
+                       if event["event"] == "shard-accepted")
+    replayed = sum(1 for event in events
+                   if event["event"] == "shard-replayed")
+    reported = {event["session"] for event in events
+                if event["event"] == "session-report"}
+    respawns = int(get_metrics().counter("service.shard_respawns").value
+                   - respawns_before)
+    return {
+        "shards": shards,
+        "sessions": sessions,
+        "killed_shard": victim,
+        "killed_pid": killed_pid,
+        "respawned_pid": respawned_pid,
+        "wall_s": round(wall_s, 3),
+        "acknowledged": acknowledged,
+        "replayed": replayed,
+        "reported": len(reported & set(ids)),
+        "respawns": respawns,
+        "lost": lost,
+        "ok": (not lost and respawns >= 1 and replayed >= 1
+               and respawned_pid != killed_pid
+               and len(reported & set(ids)) == sessions),
+    }
+
+
+def run_sharded(shard_counts: List[int], sessions: int, tenants: int,
+                train_steps: int, recovery_sessions: int,
+                ) -> Dict[str, object]:
+    print(f"sharded: throughput over {shard_counts} shards, "
+          f"{sessions} sessions, {tenants} tenants ...")
+    throughput = run_sharded_throughput(shard_counts, sessions, tenants,
+                                        train_steps)
+    for arm in throughput:
+        print(f"  {arm['shards']} shard(s): {arm['wall_s']:.2f}s "
+              f"({arm['sessions_per_s']:.1f} sessions/s, "
+              f"{arm['speedup_vs_first']:.2f}x)")
+    print(f"sharded: recovery drill — SIGKILL one of 2 shards under "
+          f"{recovery_sessions} sessions ...")
+    recovery = run_shard_recovery(2, recovery_sessions,
+                                  train_steps=max(train_steps, 4))
+    print(f"  killed shard {recovery['killed_shard']} "
+          f"(pid {recovery['killed_pid']}), {recovery['respawns']} "
+          f"respawn(s), {recovery['replayed']} replayed, "
+          f"{len(recovery['lost'])} lost")
+    return {"throughput": throughput, "recovery": recovery}
+
+
+# ---------------------------------------------------------------------------
 def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--phase", choices=("core", "sharded", "all"),
+                        default="all",
+                        help="core = stress + HTTP load; sharded = "
+                             "multiprocess throughput curve + recovery "
+                             "drill (default all)")
     parser.add_argument("--sessions", type=int, default=240,
                         help="HTTP load sessions (default 240)")
     parser.add_argument("--tenants", type=int, default=48)
@@ -311,10 +460,20 @@ def main(argv: List[str] | None = None) -> int:
     parser.add_argument("--train-steps", type=int, default=2)
     parser.add_argument("--stress-submitters", type=int, default=60)
     parser.add_argument("--stress-tenants", type=int, default=12)
+    parser.add_argument("--shard-counts", default="1,2,4",
+                        help="comma-separated shard counts for the "
+                             "throughput curve (default 1,2,4; the 1-shard "
+                             "arm is the single-process baseline)")
+    parser.add_argument("--shard-sessions", type=int, default=48,
+                        help="sessions per throughput arm (default 48)")
+    parser.add_argument("--recovery-sessions", type=int, default=8,
+                        help="sessions in flight when a shard is "
+                             "SIGKILLed (default 8)")
     parser.add_argument("--smoke", action="store_true",
                         help="small phases at nominal load; exit non-zero "
-                             "on any shed, dead worker, RuntimeError or "
-                             "duplicated baseline (the CI guard)")
+                             "on any shed, dead worker, RuntimeError, "
+                             "duplicated baseline or lost acknowledged "
+                             "session after a shard kill (the CI guard)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -322,48 +481,87 @@ def main(argv: List[str] | None = None) -> int:
         args.workers = 2
         args.max_queue_depth = 1000       # nominal load: nothing may shed
         args.stress_submitters, args.stress_tenants = 50, 10
+        args.shard_counts = "1,4"
+        args.shard_sessions = 16
+        args.recovery_sessions = 6
 
-    print(f"stress: {args.stress_submitters} concurrent submitters over "
-          f"{args.stress_tenants} tenants, {args.workers} workers ...")
-    stress = run_stress(args.stress_submitters, args.stress_tenants,
-                        args.workers, args.train_steps)
-    print(f"stress: {stress['wall_s']:.2f}s, states {stress['states']}, "
-          f"{len(stress['errors'])} errors, "
-          f"{stress['workers_alive']}/{stress['workers']} workers alive, "
-          f"{stress['duplicate_baselines']} duplicated baselines")
-
-    print(f"load: {args.sessions} sessions over {args.tenants} tenants, "
-          f"{args.workers} workers, queue bound {args.max_queue_depth} ...")
-    load = asyncio.run(run_load(args.sessions, args.tenants, args.workers,
-                                args.max_queue_depth, args.train_steps))
-    print(f"load: {load['wall_s']:.2f}s "
-          f"({load['sessions_per_s']:.1f} sessions/s), "
-          f"submit→recommend p50 {load['submit_to_recommend_p50_s']:.2f}s "
-          f"p99 {load['submit_to_recommend_p99_s']:.2f}s, "
-          f"shed rate {load['shed_rate']:.1%} "
-          f"({load['shed']} shed / {load['submit_attempts']} attempts), "
-          f"peak queue depth {load['queue_depth_max']:.0f}")
-
+    shard_counts = [int(value) for value in args.shard_counts.split(",")]
     payload = {"bench": "service_load", "smoke": bool(args.smoke),
-               "stress": stress, "load": load}
+               "phase": args.phase, "cpu_count": os.cpu_count()}
+    failures = []
+
+    if args.phase in ("core", "all"):
+        print(f"stress: {args.stress_submitters} concurrent submitters over "
+              f"{args.stress_tenants} tenants, {args.workers} workers ...")
+        stress = run_stress(args.stress_submitters, args.stress_tenants,
+                            args.workers, args.train_steps)
+        print(f"stress: {stress['wall_s']:.2f}s, states {stress['states']}, "
+              f"{len(stress['errors'])} errors, "
+              f"{stress['workers_alive']}/{stress['workers']} workers alive, "
+              f"{stress['duplicate_baselines']} duplicated baselines")
+
+        print(f"load: {args.sessions} sessions over {args.tenants} tenants, "
+              f"{args.workers} workers, queue bound "
+              f"{args.max_queue_depth} ...")
+        load = asyncio.run(run_load(args.sessions, args.tenants,
+                                    args.workers, args.max_queue_depth,
+                                    args.train_steps))
+        print(f"load: {load['wall_s']:.2f}s "
+              f"({load['sessions_per_s']:.1f} sessions/s), "
+              f"submit→recommend p50 "
+              f"{load['submit_to_recommend_p50_s']:.2f}s "
+              f"p99 {load['submit_to_recommend_p99_s']:.2f}s, "
+              f"shed rate {load['shed_rate']:.1%} "
+              f"({load['shed']} shed / {load['submit_attempts']} attempts), "
+              f"peak queue depth {load['queue_depth_max']:.0f}")
+        payload["stress"] = stress
+        payload["load"] = load
+
+        if stress["errors"]:
+            failures.append(f"stress errors: {stress['errors'][:3]}")
+        if stress["workers_alive"] != stress["workers"]:
+            failures.append("stress killed a worker thread")
+        if stress["duplicate_baselines"] or stress["misplaced_baselines"]:
+            failures.append("rollback stack corrupted by concurrent seeding")
+        if load["workers_alive"] != load["workers"]:
+            failures.append("load killed a worker thread")
+        if args.smoke and load["shed"] > 0:
+            failures.append(f"shed {load['shed']} sessions at nominal load")
+        if not load["ok"]:
+            failures.append("not every accepted session reached a terminal "
+                            "state")
+
+    if args.phase in ("sharded", "all"):
+        sharded = run_sharded(shard_counts, args.shard_sessions,
+                              args.tenants, args.train_steps,
+                              args.recovery_sessions)
+        payload["sharded"] = sharded
+
+        recovery = sharded["recovery"]
+        if recovery["lost"]:
+            failures.append(f"shard kill lost acknowledged sessions: "
+                            f"{recovery['lost']}")
+        if not recovery["ok"]:
+            failures.append("recovery drill failed (no respawn, no replay "
+                            "or a missing session report)")
+        for arm in sharded["throughput"]:
+            if not arm["ok"]:
+                failures.append(f"{arm['shards']}-shard arm lost sessions "
+                                f"or workers")
+        # The scaling gate only means something with cores to scale onto.
+        by_shards = {arm["shards"]: arm for arm in sharded["throughput"]}
+        if (os.cpu_count() or 1) >= 4 and 1 in by_shards and 4 in by_shards:
+            speedup = (by_shards[4]["sessions_per_s"]
+                       / max(by_shards[1]["sessions_per_s"], 1e-9))
+            payload["sharded"]["speedup_4_vs_1"] = round(speedup, 2)
+            if speedup < 2.0:
+                failures.append(f"4-shard throughput only {speedup:.2f}x "
+                                f"the single-process baseline")
+
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1)
     print(f"wrote {args.out}")
 
-    failures = []
-    if stress["errors"]:
-        failures.append(f"stress errors: {stress['errors'][:3]}")
-    if stress["workers_alive"] != stress["workers"]:
-        failures.append("stress killed a worker thread")
-    if stress["duplicate_baselines"] or stress["misplaced_baselines"]:
-        failures.append("rollback stack corrupted by concurrent seeding")
-    if load["workers_alive"] != load["workers"]:
-        failures.append("load killed a worker thread")
-    if args.smoke and load["shed"] > 0:
-        failures.append(f"shed {load['shed']} sessions at nominal load")
-    if not load["ok"]:
-        failures.append("not every accepted session reached a terminal "
-                        "state")
     if failures:
         print("FAILED: " + "; ".join(failures))
         return 1

@@ -314,13 +314,21 @@ class HistoryStore:
         Returns ``{"warmup_seeds": ..., "replay_seeds": ...,
         "nearest_distance": ...}`` — the keyword arguments the training
         pipeline accepts, ready to merge into ``train_kwargs``.
+
+        ``seeds=0`` / ``replay=0`` skip mining that product entirely and
+        return it empty — a caller that only wants replay pre-fill must
+        not pay for (or be told about) discarded probe seeds.
         """
+        if seeds < 0 or replay < 0:
+            raise ValueError("seeds and replay must be >= 0")
         with get_tracer().span("reuse.history_bootstrap",
                                records=len(self._records)) as span:
-            warmup = self.probe_seeds(signature, registry, k=seeds,
-                                      max_distance=max_distance)
-            pairs = self.replay_seeds(signature, registry, k=replay,
-                                      max_distance=max_distance)
+            warmup = (self.probe_seeds(signature, registry, k=seeds,
+                                       max_distance=max_distance)
+                      if seeds else np.empty((0, registry.n_tunable)))
+            pairs = (self.replay_seeds(signature, registry, k=replay,
+                                       max_distance=max_distance)
+                     if replay else [])
             matches = self.nearest(signature, k=1,
                                    max_distance=max_distance)
             nearest_distance = matches[0][1] if matches else None

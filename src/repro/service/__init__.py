@@ -8,7 +8,10 @@ that canary-evaluates every recommendation before deployment (after
 OnlineTune), a per-session :class:`AuditLog`, and a
 :class:`ServiceFrontDoor` — the asynchronous HTTP/JSON admission layer
 (``repro-service serve``) with bounded-queue load shedding and per-tenant
-token-bucket rate limits.
+token-bucket rate limits — and a :class:`ShardedTuningService`
+(``repro-service serve --shards N``) that consistent-hashes tenants onto
+worker *processes* with supervisor-driven respawn and audit-replay crash
+recovery.
 """
 
 from .audit import AuditLog
@@ -22,9 +25,11 @@ from .server import (
     TuningService,
     TuningSession,
 )
+from .shard import ConsistentHashRing, ShardedTuningService
 
 __all__ = [
     "AuditLog",
+    "ConsistentHashRing",
     "ModelEntry",
     "ModelRegistry",
     "hardware_distance",
@@ -35,6 +40,7 @@ __all__ = [
     "QueueFullError",
     "ServiceFrontDoor",
     "SessionState",
+    "ShardedTuningService",
     "TokenBucket",
     "TuningRequest",
     "TuningService",

@@ -10,12 +10,14 @@ Events carry a monotonically increasing ``seq`` instead of wall-clock
 timestamps by default, so audit trails of seeded runs are reproducible
 byte for byte; pass ``wallclock=True`` to add an ``ts`` field.
 
-Persistence keeps one append handle open across emissions (reopening the
-file per event serializes every worker thread on filesystem open/close
-under the global lock) and flushes after each record, so the JSONL tail
-is durable up to the last emit even if the process dies.  Call
-:meth:`close` — or use the log as a context manager — to release the
-handle; the next ``emit`` transparently reopens it.
+Persistence keeps one append descriptor open across emissions (reopening
+the file per event serializes every worker thread on filesystem
+open/close under the global lock).  Each record is written as a single
+``O_APPEND`` ``os.write`` so multiple *processes* (the sharded service
+runs one ``TuningService`` per shard, all appending to the same JSONL
+path) interleave whole lines rather than bytes.  Call :meth:`close` — or
+use the log as a context manager — to release the descriptor; the next
+``emit`` transparently reopens it.
 """
 
 from __future__ import annotations
@@ -54,7 +56,7 @@ class AuditLog:
         self.wallclock = bool(wallclock)
         self._events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
-        self._handle = None
+        self._fd: int | None = None
 
     def emit(self, session_id: str, event: str, **fields: object) -> Dict[str, object]:
         """Record one event; returns the stored record."""
@@ -69,18 +71,20 @@ class AuditLog:
             record = {"seq": len(self._events), **record}
             self._events.append(record)
             if self.path is not None:
-                if self._handle is None:
-                    self._handle = open(self.path, "a", encoding="utf-8")
-                self._handle.write(json.dumps(record, sort_keys=False) + "\n")
-                self._handle.flush()
+                if self._fd is None:
+                    self._fd = os.open(
+                        self.path,
+                        os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+                line = json.dumps(record, sort_keys=False) + "\n"
+                os.write(self._fd, line.encode("utf-8"))
         return record
 
     def close(self) -> None:
-        """Release the persistent append handle (emit reopens on demand)."""
+        """Release the persistent append descriptor (emit reopens on demand)."""
         with self._lock:
-            if self._handle is not None:
-                self._handle.close()
-                self._handle = None
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
 
     def __enter__(self) -> "AuditLog":
         return self
@@ -112,12 +116,24 @@ class AuditLog:
         return iter(self.events())
 
     @staticmethod
-    def read_jsonl(path: str | os.PathLike) -> List[Dict[str, object]]:
-        """Parse a JSONL audit file back into event records."""
+    def read_jsonl(path: str | os.PathLike,
+                   strict: bool = False) -> List[Dict[str, object]]:
+        """Parse a JSONL audit file back into event records.
+
+        By default undecodable lines are skipped: a SIGKILLed shard can
+        leave one torn record at its tail, and crash recovery must still
+        be able to replay everything before it.  ``strict=True`` raises
+        instead.
+        """
         records = []
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    if strict:
+                        raise
         return records

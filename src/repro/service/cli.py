@@ -37,6 +37,7 @@ from .audit import AuditLog
 from .frontdoor import ServiceFrontDoor
 from .registry import ModelRegistry
 from .server import TuningRequest, TuningService
+from .shard import ShardedTuningService
 from ..dbsim.hardware import INSTANCES
 from ..dbsim.workload import WORKLOADS
 from ..obs import (
@@ -98,7 +99,16 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="listen port (0 picks a free one; default "
                              "8421)")
     parser.add_argument("--workers", type=int, default=2,
-                        help="concurrent tuning sessions")
+                        help="concurrent tuning sessions (per shard when "
+                             "--shards is set)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="worker *processes* to shard sessions across "
+                             "(0, the default, keeps the single-process "
+                             "service); tenants are consistent-hashed onto "
+                             "shards with audit-replay crash recovery")
+    parser.add_argument("--session-retention", type=int, default=None,
+                        help="evict terminal session records past this "
+                             "count (default: retain everything)")
     parser.add_argument("--max-queue-depth", type=int, default=64,
                         help="shed POST /sessions with 429 past this many "
                              "queued sessions (default 64)")
@@ -127,9 +137,17 @@ def serve_main(argv: List[str] | None = None) -> int:
     try:
         registry_dir = (args.registry
                         or tempfile.mkdtemp(prefix="repro-registry-"))
-        service = TuningService(registry=ModelRegistry(registry_dir),
-                                audit=AuditLog(path=args.audit),
-                                workers=args.workers)
+        if args.shards > 0:
+            service = ShardedTuningService(
+                shards=args.shards, workers_per_shard=args.workers,
+                audit_path=args.audit, registry_dir=registry_dir,
+                session_retention=args.session_retention)
+        else:
+            service = TuningService(
+                registry=ModelRegistry(registry_dir),
+                audit=AuditLog(path=args.audit),
+                workers=args.workers,
+                session_retention=args.session_retention)
         front_door = ServiceFrontDoor(service, host=args.host,
                                       port=args.port,
                                       max_queue_depth=args.max_queue_depth,

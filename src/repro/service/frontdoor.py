@@ -56,10 +56,19 @@ __all__ = ["ServiceFrontDoor", "TokenBucket", "http_request"]
 
 _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
+    405: "Method Not Allowed", 410: "Gone", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+class _HttpError(Exception):
+    """A parse-level failure that must still be *answered*, not dropped."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = str(message)
 
 #: Fields a ``POST /sessions`` body may carry (anything else is a 400 —
 #: a typoed knob silently ignored is worse than a rejected request).
@@ -111,6 +120,11 @@ class TokenBucket:
             deficit = amount - self._tokens
             return max(0.0, deficit / self.rate)
 
+    def idle_seconds(self) -> float:
+        """Seconds since the bucket last refilled (i.e. was last touched)."""
+        with self._lock:
+            return max(0.0, self._clock() - self._last)
+
 
 class ServiceFrontDoor:
     """HTTP/JSON admission layer over a :class:`TuningService`.
@@ -133,15 +147,23 @@ class ServiceFrontDoor:
         Monotonic time source for the buckets (tests inject a fake).
     max_body_bytes:
         Request bodies above this are rejected with ``413``.
+    bucket_idle_s:
+        A tenant bucket untouched for this long is pruned (it would be
+        full anyway — an idle tenant's recreated bucket is equivalent),
+        so a fleet of millions of one-shot tenants does not grow
+        ``_buckets`` without bound.
     """
 
     def __init__(self, service: TuningService, host: str = "127.0.0.1",
                  port: int = 0, max_queue_depth: int = 64,
                  tenant_rate: float = 8.0, tenant_burst: float = 16.0,
                  clock: Callable[[], float] = time.monotonic,
-                 max_body_bytes: int = 1 << 20) -> None:
+                 max_body_bytes: int = 1 << 20,
+                 bucket_idle_s: float = 600.0) -> None:
         if max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive")
+        if bucket_idle_s <= 0.0:
+            raise ValueError("bucket_idle_s must be positive")
         self.service = service
         self.host = host
         self._requested_port = int(port)
@@ -149,9 +171,15 @@ class ServiceFrontDoor:
         self.tenant_rate = float(tenant_rate)
         self.tenant_burst = float(tenant_burst)
         self.max_body_bytes = int(max_body_bytes)
+        # Never prune before a drained bucket would have fully refilled:
+        # a recreated bucket starts at full burst, so pruning earlier
+        # would hand a rate-limited tenant fresh tokens.
+        self.bucket_idle_s = max(float(bucket_idle_s),
+                                 self.tenant_burst / self.tenant_rate)
         self._clock = clock
         self._buckets: Dict[str, TokenBucket] = {}
         self._buckets_lock = threading.Lock()
+        self._last_prune = clock()
         self._server: asyncio.base_events.Server | None = None
         self._draining = False
         self._stopped: asyncio.Event | None = None
@@ -215,7 +243,20 @@ class ServiceFrontDoor:
                                  writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                parsed = await self._read_request(reader)
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as error:
+                    # A malformed or oversized request still deserves an
+                    # answer (the docstring promises 413, not a hangup) —
+                    # but the stream is no longer framed, so close after.
+                    get_metrics().counter(
+                        "frontdoor.bad_requests",
+                        help="Requests rejected at the HTTP parser").inc()
+                    writer.write(_render_response(
+                        error.status, {"error": error.message}, {},
+                        keep_alive=False))
+                    await writer.drain()
+                    break
                 if parsed is None:
                     break
                 method, path, headers, body = parsed
@@ -239,26 +280,38 @@ class ServiceFrontDoor:
     async def _read_request(self, reader: asyncio.StreamReader,
                             ) -> Optional[Tuple[str, str, Dict[str, str],
                                                 bytes]]:
-        """One HTTP/1.1 request, or ``None`` on a clean EOF."""
+        """One HTTP/1.1 request, or ``None`` on a clean EOF.
+
+        Raises :class:`_HttpError` for malformed framing the caller must
+        answer (400) and for oversized bodies (413) — never a silent
+        connection drop on a request the client framed legally.
+        """
         line = await reader.readline()
         if not line or not line.strip():
             return None
         try:
             method, path, _version = line.decode("ascii").split(None, 2)
         except (UnicodeDecodeError, ValueError):
-            raise asyncio.IncompleteReadError(line, None) from None
+            raise _HttpError(400, "malformed request line") from None
         headers: Dict[str, str] = {}
         while True:
             raw = await reader.readline()
             if raw in (b"\r\n", b"\n", b""):
                 break
             if len(headers) > 64:
-                raise asyncio.IncompleteReadError(raw, None)
+                raise _HttpError(400, "too many headers")
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "invalid Content-Length") from None
+        if length < 0:
+            raise _HttpError(400, "negative Content-Length")
         if length > self.max_body_bytes:
-            raise asyncio.IncompleteReadError(b"", None)
+            raise _HttpError(
+                413, f"body of {length} bytes exceeds the "
+                     f"{self.max_body_bytes}-byte limit")
         body = await reader.readexactly(length) if length else b""
         return method.upper(), path, headers, body
 
@@ -308,9 +361,12 @@ class ServiceFrontDoor:
                 return 405, {"error": "method not allowed"}, {}
             session_id = path[len("/sessions/"):]
             try:
-                return 200, self.service.status(session_id), {}
+                status = self.service.status(session_id)
             except KeyError:
                 return 404, {"error": f"unknown session {session_id!r}"}, {}
+            if isinstance(status, dict) and status.get("expired"):
+                return 410, status, {}
+            return 200, status, {}
         if path == "/metrics" and method == "GET":
             return 200, get_metrics().render_prometheus(), {}
         if path == "/healthz" and method == "GET":
@@ -327,11 +383,27 @@ class ServiceFrontDoor:
     # -- handlers ----------------------------------------------------------
     def _bucket(self, tenant: str) -> TokenBucket:
         with self._buckets_lock:
+            self._prune_buckets_locked()
             bucket = self._buckets.get(tenant)
             if bucket is None:
                 bucket = self._buckets[tenant] = TokenBucket(
                     self.tenant_rate, self.tenant_burst, clock=self._clock)
             return bucket
+
+    def _prune_buckets_locked(self) -> None:
+        """Drop buckets idle past ``bucket_idle_s`` (caller holds the lock)."""
+        now = self._clock()
+        if now - self._last_prune < self.bucket_idle_s:
+            return
+        self._last_prune = now
+        idle = [tenant for tenant, bucket in self._buckets.items()
+                if bucket.idle_seconds() >= self.bucket_idle_s]
+        for tenant in idle:
+            del self._buckets[tenant]
+        if idle:
+            get_metrics().counter(
+                "frontdoor.buckets_pruned",
+                help="Idle per-tenant token buckets dropped").inc(len(idle))
 
     def _post_session(self, body: bytes, trace_id: str | None,
                       ) -> Tuple[int, object, Dict[str, str]]:

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -74,7 +75,13 @@ class QueueFullError(RuntimeError):
 
 
 class SessionState:
-    """Lifecycle states of a tuning session."""
+    """Lifecycle states of a tuning session.
+
+    ``EXPIRED`` is not a lifecycle transition: it is the marker state
+    :meth:`TuningService.status` reports for a terminal session whose
+    record has been evicted past the retention bound (the front door
+    translates it to HTTP 410).
+    """
 
     SUBMITTED = "SUBMITTED"
     WARMUP = "WARMUP"
@@ -82,8 +89,9 @@ class SessionState:
     RECOMMENDED = "RECOMMENDED"
     DEPLOYED = "DEPLOYED"
     FAILED = "FAILED"
+    EXPIRED = "EXPIRED"
 
-    TERMINAL = frozenset({DEPLOYED, FAILED})
+    TERMINAL = frozenset({DEPLOYED, FAILED, EXPIRED})
     ORDER = (SUBMITTED, WARMUP, TRAINING, RECOMMENDED, DEPLOYED)
 
 
@@ -324,6 +332,13 @@ class TuningService:
         Spawn workers on the first :meth:`submit` (default).  With
         ``autostart=False`` submissions only queue until :meth:`start` —
         useful to batch a backlog and let priorities decide the order.
+    session_retention:
+        Keep at most this many *terminal* session records in memory; the
+        oldest are evicted once the bound is exceeded (``None``, the
+        default, retains everything).  A long-lived fleet deployment must
+        bound this or ``_sessions`` grows without limit.  :meth:`status`
+        for an evicted id returns an ``EXPIRED`` marker (HTTP 410 at the
+        front door) instead of raising :class:`KeyError`.
     """
 
     def __init__(self, registry: ModelRegistry | None = None,
@@ -334,11 +349,14 @@ class TuningService:
                  warm_start_max_distance: float = 0.35,
                  warm_start_budget_frac: float = 0.5,
                  tuner_factory: TunerFactory | None = None,
-                 autostart: bool = True) -> None:
+                 autostart: bool = True,
+                 session_retention: int | None = None) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
         if not 0.0 < warm_start_budget_frac <= 1.0:
             raise ValueError("warm_start_budget_frac must be in (0, 1]")
+        if session_retention is not None and int(session_retention) < 1:
+            raise ValueError("session_retention must be at least 1")
         self.registry = registry
         self.guard = guard if guard is not None else SafetyGuard()
         self.audit = audit if audit is not None else AuditLog()
@@ -348,11 +366,14 @@ class TuningService:
         self.warm_start_budget_frac = float(warm_start_budget_frac)
         self.tuner_factory = tuner_factory or _default_tuner_factory
         self.autostart = bool(autostart)
+        self.session_retention = (None if session_retention is None
+                                  else int(session_retention))
 
         self._cond = threading.Condition()
         self._queue: List[tuple] = []    # (-priority, seq, session)
         self._seq = 0
         self._sessions: Dict[str, TuningSession] = {}
+        self._evicted: Dict[str, None] = {}   # ordered id set, capped
         self._threads: List[threading.Thread] = []
         self._stopping = False
         self._started = False
@@ -380,6 +401,10 @@ class TuningService:
         With ``drain`` (default) queued and in-flight sessions finish
         first; otherwise queued sessions are cancelled (marked FAILED) and
         only in-flight ones run to completion.
+
+        ``timeout`` is one overall deadline for the whole shutdown, not a
+        per-thread allowance: joining each of N workers with the full
+        timeout would stretch a requested bound to N × ``timeout``.
         """
         with self._cond:
             if not drain:
@@ -390,8 +415,10 @@ class TuningService:
                     self._safe_audit(session, "cancelled", reason="shutdown")
             self._stopping = True
             self._cond.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
         for thread in self._threads:
-            thread.join(timeout)
+            thread.join(None if deadline is None
+                        else max(0.0, deadline - time.monotonic()))
         self._threads = [t for t in self._threads if t.is_alive()]
 
     def __enter__(self) -> "TuningService":
@@ -403,7 +430,8 @@ class TuningService:
     # -- client API --------------------------------------------------------
     def submit(self, request: TuningRequest, *,
                trace_id: str | None = None,
-               max_queue_depth: int | None = None) -> str:
+               max_queue_depth: int | None = None,
+               session_id: str | None = None) -> str:
         """Queue a request; returns the session id immediately.
 
         When tracing is on, the session is assigned a trace id here; every
@@ -418,6 +446,11 @@ class TuningService:
         the request is rejected with :class:`QueueFullError` and no
         session is created.  A separate depth check before ``submit``
         would race against concurrent submitters.
+
+        ``session_id`` overrides the generated id — the sharded service's
+        supervisor passes the originally acknowledged id when it replays
+        recovered sessions into a respawned shard, so clients keep
+        polling the id they were given.
         """
         tracer = get_tracer()
         with self._cond:
@@ -426,8 +459,13 @@ class TuningService:
             if max_queue_depth is not None \
                     and len(self._queue) >= max_queue_depth:
                 raise QueueFullError(len(self._queue), max_queue_depth)
+            if session_id is not None and (session_id in self._sessions
+                                           or session_id in self._evicted):
+                raise ValueError(f"duplicate session id {session_id!r}")
             self._seq += 1
-            session = TuningSession(f"s{self._seq:04d}", request)
+            session = TuningSession(
+                session_id if session_id is not None
+                else f"s{self._seq:04d}", request)
             session.trace_id = (trace_id if trace_id is not None
                                 else tracer.new_trace_id())
             self._sessions[session.id] = session
@@ -460,7 +498,22 @@ class TuningService:
             raise KeyError(f"unknown session {session_id!r}") from None
 
     def status(self, session_id: str) -> Dict[str, object]:
-        return self.session(session_id).status()
+        """Status snapshot; an ``EXPIRED`` marker for evicted sessions.
+
+        A session evicted past the retention bound is *known but gone*:
+        reporting it as unknown (:class:`KeyError` → 404) would tell a
+        polling client its acknowledged submission was lost.  The marker
+        maps to HTTP 410 at the front door.
+        """
+        try:
+            return self.session(session_id).status()
+        except KeyError:
+            with self._cond:
+                expired = session_id in self._evicted
+            if expired:
+                return {"id": session_id, "state": SessionState.EXPIRED,
+                        "expired": True}
+            raise
 
     def sessions(self) -> List[Dict[str, object]]:
         """Status snapshots of every session, in submission order.
@@ -478,6 +531,11 @@ class TuningService:
         """Sessions queued and not yet picked up by a worker."""
         with self._cond:
             return len(self._queue)
+
+    def session_count(self) -> int:
+        """Sessions currently held in memory (excludes evicted ones)."""
+        with self._cond:
+            return len(self._sessions)
 
     def workers_alive(self) -> int:
         """Worker threads currently running (== ``workers`` when healthy).
@@ -503,7 +561,13 @@ class TuningService:
         Loops until a locked snapshot shows no unfinished session, so
         sessions submitted *while* draining are waited on too (the old
         single pass over ``list(self._sessions)`` missed them).
+
+        ``timeout`` is one overall deadline for the whole drain.  Waiting
+        per-session with the full timeout let a backlog that finishes one
+        session per window stretch a requested bound to N × ``timeout``
+        without ever raising.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             with self._cond:
                 pending = [session for session in self._sessions.values()
@@ -511,10 +575,13 @@ class TuningService:
             if not pending:
                 return
             for session in pending:
-                if not session.done.wait(timeout):
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if (remaining is not None and remaining <= 0) \
+                        or not session.done.wait(remaining):
                     raise TimeoutError(
                         f"session {session.id} still {session.state} "
-                        f"after {timeout}s")
+                        f"after the overall {timeout}s drain deadline")
 
     # -- worker side -------------------------------------------------------
     def _audit(self, session: TuningSession, event: str, **fields) -> None:
@@ -568,6 +635,34 @@ class TuningService:
                                session.id, type(error).__name__, error)
             else:
                 self._safe_audit(session, "session-report", report=report)
+            self._evict_terminal()
+
+    def _evict_terminal(self) -> None:
+        """Drop the oldest terminal sessions past the retention bound.
+
+        Only their ids are remembered (in a capped, insertion-ordered
+        set) so :meth:`status` can answer ``EXPIRED`` instead of
+        pretending the session never existed.
+        """
+        if self.session_retention is None:
+            return
+        evicted = 0
+        with self._cond:
+            terminal = [sid for sid, session in self._sessions.items()
+                        if session.done.is_set()]
+            excess = len(terminal) - self.session_retention
+            for sid in terminal[:excess]:
+                del self._sessions[sid]
+                self._evicted[sid] = None
+                evicted += 1
+            marker_cap = max(1000, 4 * self.session_retention)
+            while len(self._evicted) > marker_cap:
+                self._evicted.pop(next(iter(self._evicted)))
+        if evicted:
+            get_metrics().counter(
+                "service.sessions_evicted",
+                help="Terminal sessions dropped past the retention "
+                     "bound").inc(evicted)
 
     def _find_warm_start(self, session: TuningSession, tuner: CDBTune,
                          ) -> tuple[Optional[ModelEntry], CDBTune]:
@@ -677,19 +772,27 @@ class TuningService:
                         error_estimate=round(
                             session.compression.error_estimate, 6))
                 if request.reuse_history:
+                    # Mine only what the request asked for (seeds=0 skips
+                    # that product entirely) and report only what was
+                    # actually merged into train_kwargs — a caller-
+                    # provided warmup_seeds/replay_seeds wins, and then
+                    # the bootstrap contributed nothing.
                     bootstrap = self.history.bootstrap(
                         workload.signature(), tuner.registry,
-                        seeds=max(request.history_seeds, 1),
-                        replay=max(request.history_replay, 1))
+                        seeds=request.history_seeds,
+                        replay=request.history_replay)
                     warmup_seeds = bootstrap["warmup_seeds"]
                     replay_seeds = bootstrap["replay_seeds"]
-                    if request.history_seeds > 0 and len(warmup_seeds):
-                        train_kwargs.setdefault("warmup_seeds", warmup_seeds)
-                    if request.history_replay > 0 and replay_seeds:
-                        train_kwargs.setdefault("replay_seeds", replay_seeds)
+                    applied_warmup = applied_replay = 0
+                    if len(warmup_seeds) and "warmup_seeds" not in train_kwargs:
+                        train_kwargs["warmup_seeds"] = warmup_seeds
+                        applied_warmup = len(warmup_seeds)
+                    if replay_seeds and "replay_seeds" not in train_kwargs:
+                        train_kwargs["replay_seeds"] = replay_seeds
+                        applied_replay = len(replay_seeds)
                     session.history_seeded = {
-                        "warmup_seeds": int(len(warmup_seeds)),
-                        "replay_seeds": int(len(replay_seeds)),
+                        "warmup_seeds": int(applied_warmup),
+                        "replay_seeds": int(applied_replay),
                         "nearest_distance": bootstrap["nearest_distance"],
                     }
                     get_metrics().counter(

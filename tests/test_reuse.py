@@ -305,6 +305,35 @@ class TestHistoryStore:
         assert HistoryStore().bootstrap(rw, tuner.registry)[
             "nearest_distance"] is None
 
+    def test_bootstrap_zero_skips_mining(self):
+        """``seeds=0``/``replay=0`` return empty products, no mining."""
+        tuner = _tiny_tuner()
+        rw = get_workload("sysbench-rw").signature()
+
+        calls = []
+
+        class Spy(HistoryStore):
+            def probe_seeds(self, *args, **kwargs):
+                calls.append("probe")
+                return super().probe_seeds(*args, **kwargs)
+
+            def replay_seeds(self, *args, **kwargs):
+                calls.append("replay")
+                return super().replay_seeds(*args, **kwargs)
+
+        store = Spy([_record(rw, tuner.registry.defaults())])
+        out = store.bootstrap(rw, tuner.registry, seeds=0, replay=0)
+        assert calls == []                     # no wasted mining
+        assert out["warmup_seeds"].shape == (0, tuner.registry.n_tunable)
+        assert out["replay_seeds"] == []
+        assert out["nearest_distance"] == pytest.approx(0.0)
+        # One-sided zero only skips that side.
+        out = store.bootstrap(rw, tuner.registry, seeds=0, replay=4)
+        assert calls == ["replay"]
+        assert len(out["replay_seeds"]) == 1
+        with pytest.raises(ValueError):
+            store.bootstrap(rw, tuner.registry, seeds=-1)
+
     def test_add_result_ingests_tuning_records(self):
         tuner = _tiny_tuner()
         tuner.offline_train(CDB_A, "sysbench-rw", max_steps=8, **TRAIN_KWARGS)

@@ -173,11 +173,11 @@ class TestAuditLogPersistence:
         path = tmp_path / "audit.jsonl"
         log = AuditLog(path)
         log.emit("s1", "queued")
-        handle = log._handle
-        assert handle is not None
+        fd = log._fd
+        assert fd is not None
         log.emit("s1", "started")
-        assert log._handle is handle               # not reopened per emit
-        # flushed per emit: durable without close()
+        assert log._fd == fd                       # not reopened per emit
+        # one O_APPEND write per emit: durable without close()
         assert len(AuditLog.read_jsonl(path)) == 2
 
     def test_close_releases_and_emit_reopens(self, tmp_path):
@@ -185,10 +185,10 @@ class TestAuditLogPersistence:
         log = AuditLog(path)
         log.emit("s1", "queued")
         log.close()
-        assert log._handle is None
+        assert log._fd is None
         log.close()                                # idempotent
         log.emit("s1", "deployed")
-        assert log._handle is not None
+        assert log._fd is not None
         log.close()
         records = AuditLog.read_jsonl(path)
         assert [r["event"] for r in records] == ["queued", "deployed"]
@@ -197,15 +197,27 @@ class TestAuditLogPersistence:
         path = tmp_path / "audit.jsonl"
         with AuditLog(path) as log:
             log.emit("s1", "queued")
-            assert log._handle is not None
-        assert log._handle is None
+            assert log._fd is not None
+        assert log._fd is None
         assert len(AuditLog.read_jsonl(path)) == 1
 
     def test_memory_only_log_has_no_handle(self):
         with AuditLog() as log:
             log.emit("s1", "queued")
-            assert log._handle is None
+            assert log._fd is None
         assert len(log) == 1
+
+    def test_read_jsonl_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(path) as log:
+            log.emit("s1", "queued")
+            log.emit("s1", "deployed")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"session": "s2", "event": "que')  # torn by SIGKILL
+        records = AuditLog.read_jsonl(path)
+        assert [r["event"] for r in records] == ["queued", "deployed"]
+        with pytest.raises(json.JSONDecodeError):
+            AuditLog.read_jsonl(path, strict=True)
 
 
 class TestRegistryDistanceWeights:

@@ -15,6 +15,7 @@ Covers the acceptance scenarios of the service subsystem:
 import json
 import os
 import threading
+import time
 
 import pytest
 
@@ -507,6 +508,81 @@ class TestConcurrencyRegressions:
         assert len(seeded) == 1
         assert len(history) == 1
         assert history[0].verdict is None
+
+    def test_shutdown_honors_one_overall_deadline(self):
+        """N parked workers must not stretch ``timeout`` to N × timeout."""
+        gate = threading.Event()
+
+        def parked_factory(request):
+            gate.wait(timeout=60)
+            return _tiny_tuner(request)
+
+        service = TuningService(workers=4, tuner_factory=parked_factory)
+        try:
+            for seed in range(4):
+                service.submit(_request(seed=seed, train_steps=4))
+            started = time.monotonic()
+            service.shutdown(drain=True, timeout=0.5)
+            elapsed = time.monotonic() - started
+            # Pre-fix: 4 threads × 0.5 s = 2 s. One deadline: ~0.5 s.
+            assert elapsed < 1.5
+        finally:
+            gate.set()
+            service.shutdown(drain=True)
+
+    def test_drain_honors_one_overall_deadline(self):
+        """A backlog must not stretch ``drain(timeout)`` per session."""
+        gate = threading.Event()
+
+        def parked_factory(request):
+            gate.wait(timeout=60)
+            return _tiny_tuner(request)
+
+        service = TuningService(workers=1, tuner_factory=parked_factory)
+        try:
+            for seed in range(5):
+                service.submit(_request(seed=seed, train_steps=4))
+            started = time.monotonic()
+            with pytest.raises(TimeoutError, match="overall"):
+                service.drain(timeout=0.4)
+            elapsed = time.monotonic() - started
+            # Pre-fix: up to 5 pending × 0.4 s. One deadline: ~0.4 s.
+            assert elapsed < 1.2
+        finally:
+            gate.set()
+            service.shutdown(drain=True)
+
+    def test_session_eviction_honors_retention_bound(self):
+        """Terminal records past ``session_retention`` are evicted, and
+        their ids answer an ``EXPIRED`` marker instead of a 404-style
+        :class:`KeyError` — a polling client must never conclude its
+        acknowledged submission was lost."""
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner,
+                                session_retention=2)
+        ids = []
+        for seed in range(4):
+            sid = service.submit(_request(seed=seed, train_steps=4))
+            service.wait(sid, timeout=300)
+            ids.append(sid)
+        service.shutdown()
+        # The two oldest terminal sessions were evicted in order…
+        assert service.session_count() == 2
+        live = {s["id"] for s in service.sessions()}
+        assert live == set(ids[2:])
+        for sid in ids[:2]:
+            status = service.status(sid)
+            assert status == {"id": sid, "state": SessionState.EXPIRED,
+                              "expired": True}
+        # …the retained ones still report full status…
+        for sid in ids[2:]:
+            assert service.status(sid)["state"] == SessionState.DEPLOYED
+        # …and a never-submitted id is still unknown, not expired.
+        with pytest.raises(KeyError, match="unknown session"):
+            service.status("s9999")
+
+    def test_session_retention_validation(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            TuningService(workers=1, session_retention=0)
 
     def test_same_tenant_concurrent_sessions_seed_one_baseline(self):
         """End to end: concurrent same-tenant sessions, one stack bottom."""

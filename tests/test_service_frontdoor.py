@@ -70,6 +70,22 @@ def _run(coro):
     return asyncio.run(asyncio.wait_for(coro, 300))
 
 
+async def _raw_request(port, payload):
+    """Send raw bytes (malformed framing the stdlib client can't produce)
+    and return everything the server answers before closing."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(payload)
+        await writer.drain()
+        return await asyncio.wait_for(reader.read(), 30)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
 # ---------------------------------------------------------------------------
 # Token bucket
 # ---------------------------------------------------------------------------
@@ -280,6 +296,118 @@ class TestBackpressure:
                 await http_request("127.0.0.1", front_door.port, "GET",
                                    "/healthz", timeout=5.0)
         _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Request framing and retention (PR 9 satellites)
+# ---------------------------------------------------------------------------
+class TestRequestFraming:
+    def test_oversized_body_answers_413(self):
+        """An over-limit body gets a 413 answer, never a silent hangup."""
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(
+                service, port=0, max_body_bytes=64).start()
+            bad_before = get_metrics().counter(
+                "frontdoor.bad_requests").value
+            try:
+                status, headers, body = await _post(
+                    front_door, "/sessions",
+                    dict(SUBMIT_BODY, padding="x" * 256))
+                assert status == 413
+                assert "64-byte limit" in body["error"]
+                assert headers["connection"] == "close"
+                assert get_metrics().counter(
+                    "frontdoor.bad_requests").value == bad_before + 1
+                # The request never reached the service.
+                assert service.sessions() == []
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_negative_and_invalid_content_length_answer_400(self):
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                for value in (b"-5", b"banana"):
+                    raw = await _raw_request(
+                        front_door.port,
+                        b"POST /sessions HTTP/1.1\r\n"
+                        b"Host: t\r\n"
+                        b"Content-Length: " + value + b"\r\n\r\n")
+                    assert raw.startswith(b"HTTP/1.1 400 "), raw
+                    assert b"Content-Length" in raw
+                    assert b"Connection: close" in raw
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_evicted_session_answers_410(self):
+        """Past the retention bound a finished session is *gone*, not
+        *unknown*: 410 with an EXPIRED marker, never a 404."""
+        async def scenario():
+            service = _service(workers=1, session_retention=1)
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                ids = []
+                for seed in range(2):
+                    status, _, body = await _post(
+                        front_door, "/sessions", dict(SUBMIT_BODY, seed=seed))
+                    assert status == 202
+                    ids.append(body["session"])
+                    await _wait_terminal(front_door, ids[-1])
+                # Eviction runs just after the session report; poll briefly.
+                deadline = time.monotonic() + 60
+                while True:
+                    status, _, body = await _get(front_door,
+                                                 f"/sessions/{ids[0]}")
+                    if status == 410:
+                        break
+                    assert time.monotonic() < deadline
+                    await asyncio.sleep(0.02)
+                assert body == {"id": ids[0], "state": SessionState.EXPIRED,
+                                "expired": True}
+                status, _, _ = await _get(front_door, f"/sessions/{ids[1]}")
+                assert status == 200
+                # A never-submitted id is still 404, not 410.
+                status, _, _ = await _get(front_door, "/sessions/s9999")
+                assert status == 404
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+
+class TestBucketPruning:
+    def test_idle_buckets_pruned(self):
+        clock = [0.0]
+        front_door = ServiceFrontDoor(
+            _service(autostart=False), tenant_rate=1.0, tenant_burst=2.0,
+            bucket_idle_s=10.0, clock=lambda: clock[0])
+        pruned_before = get_metrics().counter(
+            "frontdoor.buckets_pruned").value
+        front_door._bucket("a")
+        clock[0] = 5.0
+        front_door._bucket("b")
+        # No prune pass is due yet, so both buckets survive.
+        assert set(front_door._buckets) == {"a", "b"}
+        clock[0] = 12.0
+        front_door._bucket("b")         # due pass drops a (idle 12 s ≥ 10 s)
+        assert set(front_door._buckets) == {"b"}
+        assert get_metrics().counter(
+            "frontdoor.buckets_pruned").value == pruned_before + 1
+
+    def test_idle_floor_never_undercuts_refill_time(self):
+        """Pruning before a drained bucket refills would hand a
+        rate-limited tenant a fresh full bucket."""
+        front_door = ServiceFrontDoor(
+            _service(autostart=False), tenant_rate=0.5, tenant_burst=100.0,
+            bucket_idle_s=5.0)
+        assert front_door.bucket_idle_s == pytest.approx(200.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bucket_idle_s"):
+            ServiceFrontDoor(_service(autostart=False), bucket_idle_s=0.0)
 
 
 # ---------------------------------------------------------------------------

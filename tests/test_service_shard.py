@@ -1,0 +1,229 @@
+"""Multiprocess session sharding: placement, wire codec, crash recovery.
+
+The process-level tests boot real forked shard processes, so they keep
+budgets tiny (8/16-unit networks, a handful of training steps).  The
+crash-recovery test SIGKILLs a shard with acknowledged sessions on it
+and asserts the supervisor's audit replay loses none of them — the
+system's availability contract.
+"""
+
+import collections
+import os
+import signal
+
+import pytest
+
+from repro.core.tuner import CDBTune
+from repro.dbsim.hardware import CDB_A, CDB_B
+from repro.dbsim.workload import get_workload
+from repro.reuse import WorkloadMix
+from repro.service import (
+    AuditLog,
+    ConsistentHashRing,
+    SessionState,
+    ShardedTuningService,
+    TuningRequest,
+    TuningService,
+)
+from repro.service.shard import request_from_wire, request_to_wire
+
+TRAIN_KWARGS = {"probe_every": 1000, "episode_length": 2,
+                "warmup_steps": 1, "stop_on_convergence": False}
+
+
+def _request(tenant, seed=0, train_steps=3, **overrides):
+    kwargs = dict(hardware=CDB_A, workload="sysbench-rw", tenant=tenant,
+                  train_steps=train_steps, tune_steps=1, seed=seed,
+                  noise=0.0, train_kwargs=dict(TRAIN_KWARGS))
+    kwargs.update(overrides)
+    return TuningRequest(**kwargs)
+
+
+def _shard_factory(index, audit):
+    def tiny(request):
+        return CDBTune(seed=request.seed, noise=request.noise,
+                       actor_hidden=(8, 8), critic_hidden=(8, 8),
+                       critic_branch_width=4, batch_size=4,
+                       prioritized_replay=False)
+    return TuningService(audit=audit, workers=1, tuner_factory=tiny)
+
+
+def _sharded(tmp_path, shards=2, **overrides):
+    kwargs = dict(shards=shards, shard_factory=_shard_factory,
+                  audit_path=tmp_path / "audit.jsonl",
+                  heartbeat_interval=0.2)
+    kwargs.update(overrides)
+    return ShardedTuningService(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------------
+class TestConsistentHashRing:
+    def test_deterministic_and_in_range(self):
+        ring = ConsistentHashRing(4)
+        again = ConsistentHashRing(4)
+        for index in range(200):
+            key = f"tenant-{index}"
+            shard = ring.node_for(key)
+            assert 0 <= shard < 4
+            assert again.node_for(key) == shard    # stable across instances
+
+    def test_reasonable_balance(self):
+        ring = ConsistentHashRing(4)
+        counts = collections.Counter(ring.node_for(f"tenant-{index}")
+                                     for index in range(2000))
+        assert set(counts) == {0, 1, 2, 3}         # every shard gets keys
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_scaling_moves_few_keys(self):
+        """Consistent hashing: adding a shard remaps only a fraction."""
+        before = ConsistentHashRing(4)
+        after = ConsistentHashRing(5)
+        keys = [f"tenant-{index}" for index in range(1000)]
+        moved = sum(1 for key in keys
+                    if before.node_for(key) != after.node_for(key))
+        assert moved < 500                         # modulo would move ~80%
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(0)
+        with pytest.raises(ValueError):
+            ConsistentHashRing(2, replicas=0)
+
+
+# ---------------------------------------------------------------------------
+# Wire codec
+# ---------------------------------------------------------------------------
+class TestWireCodec:
+    def test_named_workload_roundtrip(self):
+        request = _request("t1", seed=7, priority=3, history_seeds=0,
+                           current_config={"max_connections": 500})
+        clone = request_from_wire(request_to_wire(request))
+        assert clone.workload == request.workload
+        assert clone.hardware == request.hardware
+        assert clone.tenant == "t1"
+        assert clone.priority == 3
+        assert clone.seed == 7
+        assert clone.history_seeds == 0
+        assert clone.current_config == {"max_connections": 500}
+        assert clone.train_kwargs == request.train_kwargs
+
+    def test_custom_spec_roundtrip(self):
+        custom = get_workload("sysbench-rw").scaled(threads=99)
+        request = _request("t1", workload=custom)
+        wire = request_to_wire(request)
+        assert wire["workload"]["kind"] == "spec"  # not a catalog workload
+        clone = request_from_wire(wire)
+        assert clone.workload == custom
+
+    def test_mix_roundtrip(self):
+        mix = WorkloadMix.single("sysbench-rw", name="tenant-mix")
+        request = _request("t1", workload=mix)
+        wire = request_to_wire(request)
+        assert wire["workload"]["kind"] == "mix"
+        clone = request_from_wire(wire)
+        assert isinstance(clone.workload, WorkloadMix)
+        assert clone.workload.signature() == mix.signature()
+
+
+# ---------------------------------------------------------------------------
+# Sharded service end to end (forked worker processes)
+# ---------------------------------------------------------------------------
+class TestShardedService:
+    def test_tenant_affinity_and_ordering(self, tmp_path):
+        """One tenant's sessions land on one shard, in submission order."""
+        with _sharded(tmp_path, shards=2) as service:
+            tenants = [f"tenant-{index}" for index in range(4)]
+            submitted = {}
+            for round_index in range(2):
+                for tenant in tenants:
+                    sid = service.submit(_request(
+                        tenant, seed=round_index, train_steps=2))
+                    submitted.setdefault(tenant, []).append(sid)
+            service.drain(timeout=300)
+            statuses = {s["id"]: s for s in service.sessions()}
+            assert len(statuses) == 8
+            events = AuditLog.read_jsonl(service.audit_path)
+            accepted_shard = {e["session"]: e["shard"] for e in events
+                              if e["event"] == "shard-accepted"}
+            started_order = [e["session"] for e in events
+                             if e["event"] == "started"]
+            for tenant, ids in submitted.items():
+                # affinity: both sessions on the ring's shard for the tenant
+                expected = service.shard_for(tenant)
+                assert [accepted_shard[sid] for sid in ids] == [expected] * 2
+                # ordering: started in submission order (1 worker per shard)
+                first, second = (started_order.index(ids[0]),
+                                 started_order.index(ids[1]))
+                assert first < second
+                for sid in ids:
+                    assert statuses[sid]["state"] == SessionState.DEPLOYED
+
+    def test_unknown_session_raises(self, tmp_path):
+        service = _sharded(tmp_path, shards=1, autostart=False)
+        with pytest.raises(KeyError, match="unknown session"):
+            service.status("s9999")
+
+    def test_kill_shard_replays_acknowledged_sessions(self, tmp_path):
+        """SIGKILL a shard mid-work: every acknowledged session still
+        reaches a terminal state under its original id, and the audit log
+        shows the respawn replayed it."""
+        with _sharded(tmp_path, shards=2) as service:
+            ids = [service.submit(_request(f"tenant-{index}", seed=index,
+                                           train_steps=4))
+                   for index in range(6)]
+            victim = service.shard_for("tenant-0")
+            pid = service.shard_pid(victim)
+            assert pid is not None
+            os.kill(pid, signal.SIGKILL)
+
+            # The acknowledged session answers (recovering placeholder or
+            # live status), never a 404-style KeyError, during the outage.
+            during = service.status(ids[0])
+            assert during["id"] == ids[0]
+
+            service.drain(timeout=300)
+            finals = {sid: service.status(sid) for sid in ids}
+            lost = [sid for sid, status in finals.items()
+                    if status["state"] not in SessionState.TERMINAL]
+            assert lost == []                     # the availability contract
+            assert service.shard_pid(victim) != pid   # respawned
+
+            events = AuditLog.read_jsonl(service.audit_path)
+            kinds = collections.Counter(e["event"] for e in events)
+            assert kinds["shard-accepted"] == 6
+            assert kinds.get("shard-replayed", 0) >= 1
+            # Replayed sessions kept their acknowledged ids.
+            replayed = {e["session"] for e in events
+                        if e["event"] == "shard-replayed"}
+            assert replayed <= set(ids)
+            reports = {e["session"] for e in events
+                       if e["event"] == "session-report"}
+            assert set(ids) <= reports            # every session reported
+
+    def test_fleet_queue_bound_is_split_across_shards(self, tmp_path):
+        """A fleet-wide ``max_queue_depth`` sheds at the per-shard share."""
+        from repro.service import QueueFullError
+
+        with _sharded(tmp_path, shards=1) as service:
+            # 1 shard, 1 worker; gate the worker by submitting a slow-ish
+            # first session, then flood one tenant's queue.
+            ids = [service.submit(_request("hot-tenant", seed=seed,
+                                           train_steps=4))
+                   for seed in range(3)]
+            with pytest.raises(QueueFullError):
+                for seed in range(3, 30):
+                    ids.append(service.submit(
+                        _request("hot-tenant", seed=seed, train_steps=4),
+                        max_queue_depth=4))
+            service.drain(timeout=300)
+            for sid in ids:
+                assert (service.status(sid)["state"]
+                        in SessionState.TERMINAL)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedTuningService(shards=0)
+        with pytest.raises(ValueError):
+            ShardedTuningService(shards=1, workers_per_shard=0)
