@@ -8,14 +8,20 @@ operator can reconstruct any session after the fact.
 
 Events carry a monotonically increasing ``seq`` instead of wall-clock
 timestamps by default, so audit trails of seeded runs are reproducible
-byte for byte; pass ``wallclock=True`` to add an ``ts`` field.
+byte for byte; pass ``wallclock=True`` to add an ``ts`` field.  ``seq``
+is monotonic *per log instance*: when several processes append to one
+JSONL file (the sharded service), each writer's records carry its own
+``seq`` stream plus a ``src`` label (pass ``source=...``) to tell the
+streams apart — global order across writers is file position, not
+``seq``.
 
 Persistence keeps one append descriptor open across emissions (reopening
 the file per event serializes every worker thread on filesystem
-open/close under the global lock).  Each record is written as a single
-``O_APPEND`` ``os.write`` so multiple *processes* (the sharded service
-runs one ``TuningService`` per shard, all appending to the same JSONL
-path) interleave whole lines rather than bytes.  Call :meth:`close` — or
+open/close under the global lock).  Each record is written as one
+``O_APPEND`` ``os.write`` (retried until every byte is out) so multiple
+*processes* (the sharded service runs one ``TuningService`` per shard,
+all appending to the same JSONL path) interleave whole lines rather
+than bytes.  Call :meth:`close` — or
 use the log as a context manager — to release the descriptor; the next
 ``emit`` transparently reopens it.
 """
@@ -51,9 +57,11 @@ class AuditLog:
     """Append-only, thread-safe event log with optional JSONL persistence."""
 
     def __init__(self, path: str | os.PathLike | None = None,
-                 wallclock: bool = False) -> None:
+                 wallclock: bool = False,
+                 source: str | None = None) -> None:
         self.path = os.fspath(path) if path is not None else None
         self.wallclock = bool(wallclock)
+        self.source = str(source) if source is not None else None
         self._events: List[Dict[str, object]] = []
         self._lock = threading.Lock()
         self._fd: int | None = None
@@ -69,14 +77,23 @@ class AuditLog:
         record.update({str(k): _jsonable(v) for k, v in fields.items()})
         with self._lock:
             record = {"seq": len(self._events), **record}
+            if self.source is not None:
+                record = {"seq": record["seq"], "src": self.source,
+                          **{k: v for k, v in record.items() if k != "seq"}}
             self._events.append(record)
             if self.path is not None:
                 if self._fd is None:
                     self._fd = os.open(
                         self.path,
                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-                line = json.dumps(record, sort_keys=False) + "\n"
-                os.write(self._fd, line.encode("utf-8"))
+                data = (json.dumps(record, sort_keys=False) + "\n").encode(
+                    "utf-8")
+                # os.write may write fewer bytes than asked (signal, disk
+                # pressure); a torn half-line would be silently dropped by
+                # read_jsonl on replay, so keep writing until the record
+                # is out whole.
+                while data:
+                    data = data[os.write(self._fd, data):]
         return record
 
     def close(self) -> None:

@@ -651,7 +651,9 @@ class TuningService:
             terminal = [sid for sid, session in self._sessions.items()
                         if session.done.is_set()]
             excess = len(terminal) - self.session_retention
-            for sid in terminal[:excess]:
+            # A negative excess must not slice from the end: terminal[:-1]
+            # would evict nearly everything while still under the bound.
+            for sid in terminal[:excess] if excess > 0 else []:
                 del self._sessions[sid]
                 self._evicted[sid] = None
                 evicted += 1

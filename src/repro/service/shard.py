@@ -274,7 +274,10 @@ def _shard_main(index: int, conn: socket.socket, audit_path: str,
     """
     set_metrics(MetricsRegistry())
     set_tracer(NullTracer())
-    audit = AuditLog(path=audit_path)
+    # Each process owns its own seq stream; the src label keeps the
+    # interleaved streams distinguishable in the shared JSONL (global
+    # order across shards is file position, not seq).
+    audit = AuditLog(path=audit_path, source=f"shard{index}")
     service = factory(index, audit)
     service.start()
     try:
@@ -376,10 +379,17 @@ class ShardedTuningService:
 
         #: Parent-side audit handle: ``shard-accepted``/``shard-replayed``
         #: supervision events (shards append their own lifecycle events).
-        self.audit = AuditLog(path=self.audit_path)
+        self.audit = AuditLog(path=self.audit_path, source="parent")
         self._ring = ConsistentHashRing(self.shards)
         self._handles = [_ShardHandle(index) for index in range(self.shards)]
         self._meta: Dict[str, Dict[str, object]] = {}  # sid → shard/trace
+        #: Routing metadata is bounded like the shards' own session
+        #: tables: past the cap the oldest entries degrade to EXPIRED
+        #: markers, mirroring ``TuningService._evicted`` one layer up.
+        self._meta_cap = (None if session_retention is None
+                          else max(64, 2 * self.shards
+                                   * int(session_retention)))
+        self._meta_expired: Dict[str, None] = {}  # ordered id set, capped
         self._meta_lock = threading.Lock()
         self._seq = 0
         self._started = False
@@ -687,10 +697,47 @@ class ShardedTuningService:
         with self._meta_lock:
             self._meta[session_id] = {"shard": shard, "trace": trace,
                                       "tenant": tenant}
+            self._prune_meta_locked()
         get_metrics().counter(
             "service.sharded_submissions",
             help="Sessions accepted by the sharded service").inc()
         return session_id
+
+    def _prune_meta_locked(self) -> None:
+        """Degrade the oldest routing entries to EXPIRED markers.
+
+        Caller holds ``_meta_lock``.  Unbounded when ``session_retention``
+        is ``None`` — matching the shards themselves, which then retain
+        every session record.
+        """
+        if self._meta_cap is None:
+            return
+        while len(self._meta) > self._meta_cap:
+            sid = next(iter(self._meta))
+            del self._meta[sid]
+            self._meta_expired[sid] = None
+        marker_cap = max(1000, 4 * self._meta_cap)
+        while len(self._meta_expired) > marker_cap:
+            self._meta_expired.pop(next(iter(self._meta_expired)))
+
+    def _expire_meta(self, session_id: str) -> Dict[str, object]:
+        """Move an id to the expired markers; returns the EXPIRED status."""
+        with self._meta_lock:
+            self._meta.pop(session_id, None)
+            self._meta_expired[session_id] = None
+            self._prune_meta_locked()
+        return {"id": session_id, "state": SessionState.EXPIRED,
+                "expired": True}
+
+    def _terminal_in_audit(self, session_id: str) -> bool:
+        """Whether the shared JSONL records a terminal event for the id."""
+        try:
+            events = AuditLog.read_jsonl(self.audit_path)
+        except FileNotFoundError:
+            return False
+        return any(str(event.get("session")) == session_id
+                   and event.get("event") in _TERMINAL_EVENTS
+                   for event in events)
 
     def status(self, session_id: str) -> Dict[str, object]:
         """One session's snapshot, fetched from its owning shard.
@@ -698,11 +745,20 @@ class ShardedTuningService:
         While the shard is dead or mid-replay the session still answers —
         with a ``recovering`` placeholder — because the submission was
         acknowledged and will be replayed; a 404 here would tell the
-        client its session was lost.
+        client its session was lost.  A session that reached a terminal
+        state *before* a shard crash is deliberately not replayed, so the
+        fresh shard has never heard of it: the audit log is the arbiter —
+        a terminal event there turns the answer into an ``EXPIRED``
+        marker (410 at the front door) instead of a forever-``SUBMITTED``
+        placeholder that would spin :meth:`wait` until timeout.
         """
         with self._meta_lock:
             meta = self._meta.get(session_id)
+            expired = session_id in self._meta_expired
         if meta is None:
+            if expired:
+                return {"id": session_id, "state": SessionState.EXPIRED,
+                        "expired": True}
             raise KeyError(f"unknown session {session_id!r}")
         placeholder = {"id": session_id, "tenant": meta["tenant"],
                        "state": SessionState.SUBMITTED, "recovering": True,
@@ -715,8 +771,15 @@ class ShardedTuningService:
         except ConnectionError:
             return placeholder
         if reply.get("ok"):
-            return reply["result"]
+            result = reply["result"]
+            if isinstance(result, dict) and result.get("expired"):
+                # The shard evicted the record; route future polls off
+                # the shard (and off _meta) entirely.
+                return self._expire_meta(session_id)
+            return result
         if reply.get("kind") == "unknown-session":
+            if self._terminal_in_audit(session_id):
+                return self._expire_meta(session_id)
             return placeholder         # respawned; replay is in flight
         raise RuntimeError(f"shard {meta['shard']} status failed: "
                            f"{reply.get('error', reply)}")

@@ -235,6 +235,46 @@ class TestAuditLog:
         lines = path.read_text().strip().splitlines()
         assert all(json.loads(line)["session"] for line in lines)
 
+    def test_short_writes_still_emit_whole_records(self, tmp_path,
+                                                   monkeypatch):
+        """``os.write`` may land fewer bytes than asked (signal, disk
+        pressure); a torn half-line would be silently dropped by
+        ``read_jsonl`` on crash-recovery replay, so ``emit`` must keep
+        writing until the record is out whole."""
+        import repro.service.audit as audit_mod
+
+        path = tmp_path / "audit.jsonl"
+        real_write = os.write
+        monkeypatch.setattr(audit_mod.os, "write",
+                            lambda fd, data: real_write(fd, data[:3]))
+        log = AuditLog(path=path)
+        log.emit("s1", "queued", tenant="a", payload=list(range(8)))
+        log.emit("s2", "deployed")
+        log.close()
+        records = AuditLog.read_jsonl(path, strict=True)
+        assert [r["session"] for r in records] == ["s1", "s2"]
+        assert records[0]["payload"] == list(range(8))
+
+    def test_source_labels_interleaved_writers(self, tmp_path):
+        """Sharded runs: every process restarts ``seq`` at 0, so records
+        carry a ``src`` label to keep the per-writer streams apart —
+        global order across writers is file position, not ``seq``."""
+        path = tmp_path / "audit.jsonl"
+        parent = AuditLog(path=path, source="parent")
+        shard = AuditLog(path=path, source="shard0")
+        parent.emit("s1", "shard-accepted")
+        shard.emit("s1", "queued")
+        shard.emit("s1", "session-report")
+        parent.emit("s2", "shard-accepted")
+        parent.close()
+        shard.close()
+        per_src = {}
+        for record in AuditLog.read_jsonl(path, strict=True):
+            per_src.setdefault(record["src"], []).append(record["seq"])
+        assert per_src == {"parent": [0, 1], "shard0": [0, 1]}
+        # Unlabelled logs keep the original record shape.
+        assert "src" not in AuditLog().emit("s1", "queued")
+
 
 # ---------------------------------------------------------------------------
 # Service end-to-end
@@ -579,6 +619,22 @@ class TestConcurrencyRegressions:
         # …and a never-submitted id is still unknown, not expired.
         with pytest.raises(KeyError, match="unknown session"):
             service.status("s9999")
+
+    def test_eviction_noop_while_under_retention_bound(self):
+        """Fewer terminal sessions than the bound must evict nothing: a
+        negative excess once sliced ``terminal[:-k]`` and silently
+        expired nearly every retained record."""
+        service = TuningService(workers=1, tuner_factory=_tiny_tuner,
+                                session_retention=3)
+        ids = []
+        for seed in range(2):
+            sid = service.submit(_request(seed=seed, train_steps=4))
+            service.wait(sid, timeout=300)
+            ids.append(sid)
+        service.shutdown()
+        assert service.session_count() == 2
+        for sid in ids:
+            assert service.status(sid)["state"] == SessionState.DEPLOYED
 
     def test_session_retention_validation(self):
         with pytest.raises(ValueError, match="at least 1"):

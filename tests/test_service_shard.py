@@ -10,6 +10,7 @@ system's availability contract.
 import collections
 import os
 import signal
+import time
 
 import pytest
 
@@ -201,6 +202,55 @@ class TestShardedService:
             reports = {e["session"] for e in events
                        if e["event"] == "session-report"}
             assert set(ids) <= reports            # every session reported
+
+    def test_terminal_before_crash_answers_expired_after_respawn(
+            self, tmp_path):
+        """A session that finished *before* its shard died is rightly not
+        replayed — but the fresh shard has never heard of it, so the
+        parent must consult the audit log and answer an ``EXPIRED``
+        marker, not a forever-``SUBMITTED`` recovering placeholder that
+        would spin :meth:`wait` until timeout."""
+        with _sharded(tmp_path, shards=1) as service:
+            sid = service.submit(_request("tenant-x", train_steps=2))
+            final = service.wait(sid, timeout=300)
+            assert final["state"] in SessionState.TERMINAL
+            pid = service.shard_pid(0)
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.monotonic() + 60
+            while True:
+                status = service.status(sid)
+                if status.get("expired"):
+                    break
+                assert time.monotonic() < deadline, status
+                time.sleep(0.1)
+            assert status["state"] == SessionState.EXPIRED
+            # wait() terminates on the marker instead of polling forever.
+            assert service.wait(sid, timeout=30)["state"] \
+                == SessionState.EXPIRED
+
+    def test_routing_meta_bounded_past_cap(self, tmp_path):
+        """Parent-side routing metadata must not regrow the unbounded
+        session table one layer up: past the cap the oldest entries
+        degrade to ``EXPIRED`` markers."""
+        service = _sharded(tmp_path, shards=1, session_retention=1,
+                           autostart=False)
+        assert service._meta_cap == 64
+        with service._meta_lock:
+            for index in range(service._meta_cap + 10):
+                service._meta[f"s{index:04d}"] = {
+                    "shard": 0, "trace": "t", "tenant": "x"}
+                service._prune_meta_locked()
+            assert len(service._meta) == service._meta_cap
+        status = service.status("s0000")
+        assert status == {"id": "s0000", "state": SessionState.EXPIRED,
+                          "expired": True}
+        with pytest.raises(KeyError, match="unknown session"):
+            service.status("never-submitted")
+        # No retention bound ⇒ unbounded routing metadata, matching the
+        # shards themselves retaining every session record.
+        unbounded = _sharded(tmp_path, shards=1, autostart=False,
+                             audit_path=tmp_path / "audit2.jsonl")
+        assert unbounded._meta_cap is None
 
     def test_fleet_queue_bound_is_split_across_shards(self, tmp_path):
         """A fleet-wide ``max_queue_depth`` sheds at the per-shard share."""
