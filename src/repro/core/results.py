@@ -313,6 +313,9 @@ class SessionReport:
     training: TrainingResult | None = None
     tuning: TuningResult | None = None
     canary: Dict[str, object] | None = None
+    #: Serialized service Recommendation (config + source provenance),
+    #: carried as a plain dict for the same reason the canary verdict is.
+    recommendation: Dict[str, object] | None = None
     telemetry: Telemetry = field(default_factory=Telemetry)
 
     def to_dict(self) -> Dict[str, object]:
@@ -335,6 +338,8 @@ class SessionReport:
             "tuning": (self.tuning.to_dict()
                        if self.tuning is not None else None),
             "canary": dict(self.canary) if self.canary is not None else None,
+            "recommendation": (dict(self.recommendation)
+                               if self.recommendation is not None else None),
             "telemetry": self.telemetry.to_dict(),
         }
 
@@ -362,5 +367,8 @@ class SessionReport:
             tuning=(TuningResult.from_dict(tuning)  # type: ignore[arg-type]
                     if tuning is not None else None),
             canary=dict(canary) if canary is not None else None,  # type: ignore[arg-type]
+            recommendation=(dict(data["recommendation"])  # type: ignore[arg-type]
+                            if data.get("recommendation") is not None
+                            else None),
             telemetry=Telemetry.from_dict(data.get("telemetry") or {}),  # type: ignore[arg-type]
         )

@@ -59,6 +59,7 @@ from .service_adaptability import (
     run_service,
 )
 from .reuse import ReuseResult, ReuseRow, run_reuse
+from .oneshot import OneShotResult, OneShotRow, run_oneshot
 
 #: Registry mapping experiment ids to their drivers (DESIGN.md index).
 EXPERIMENTS = {
@@ -82,6 +83,7 @@ EXPERIMENTS = {
     "fig18": run_fig18_local_mysql,
     "service": run_service,
     "reuse": run_reuse,
+    "oneshot": run_oneshot,
 }
 
 __all__ = [
@@ -142,5 +144,8 @@ __all__ = [
     "ReuseResult",
     "ReuseRow",
     "run_reuse",
+    "OneShotResult",
+    "OneShotRow",
+    "run_oneshot",
     "EXPERIMENTS",
 ]

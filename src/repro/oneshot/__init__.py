@@ -1,0 +1,38 @@
+"""One-shot configuration prediction from the accumulated tuning corpus.
+
+E2ETune's observation (PAPERS.md): a fleet that has tuned thousands of
+sessions has implicitly *learned* the workload→configuration mapping —
+there is no need to rediscover it with a fresh RL run per tenant.  This
+package makes that knowledge a first-class serving path:
+
+* :mod:`repro.oneshot.features` — the versioned feature layout mapping
+  ``(workload signature, hardware spec, internal metrics)`` to one input
+  vector (:class:`FeatureCodec`);
+* :mod:`repro.oneshot.model` — a supervised MLP regressor
+  (:class:`OneShotModel`) built from :mod:`repro.nn` primitives, with
+  input/output normalizers checkpointed through the same atomic
+  ``save_state`` path as the DDPG agent;
+* :mod:`repro.oneshot.recommender` — :class:`OneShotRecommender`, the
+  serving wrapper: fit on a :meth:`HistoryStore.training_corpus`
+  product, predict a deployable knob configuration in microseconds.
+
+The tuning service consults the recommender *before* warmup
+(``mode="oneshot"`` requests): the prediction is emitted instantly as a
+provisional recommendation — audited, guard-canaried like any candidate
+— and the DDPG loop is demoted to a refinement pass from that starting
+point with a reduced budget.
+"""
+
+from .features import FEATURE_VERSION, SIGNATURE_KEYS, FeatureCodec
+from .model import FitResult, OneShotModel
+from .recommender import OneShotPrediction, OneShotRecommender
+
+__all__ = [
+    "FEATURE_VERSION",
+    "SIGNATURE_KEYS",
+    "FeatureCodec",
+    "FitResult",
+    "OneShotModel",
+    "OneShotPrediction",
+    "OneShotRecommender",
+]

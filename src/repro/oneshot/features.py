@@ -1,0 +1,152 @@
+"""Versioned feature layout for the one-shot recommender.
+
+One training example is ``(workload signature, hardware spec, internal
+metrics) → best knob vector``.  This module owns the *input* side: a
+:class:`FeatureCodec` that maps those three heterogeneous pieces into a
+single fixed-width float vector with a stable, versioned layout:
+
+``[signature(9) | hardware(4) + flag | metrics(63) + flag]``
+
+The layout is frozen per :data:`FEATURE_VERSION`: checkpoints record the
+version they were trained under and refuse to load into a codec with a
+different layout, so a model can never silently mis-read its inputs
+after the feature set evolves.
+
+Hardware and metrics are optional — audit trails mined from older
+releases carry neither.  Each optional block gets a presence flag so the
+model can distinguish "metrics were all zero" from "metrics unknown";
+missing blocks are zero-filled, which after input standardization lands
+them on the training-corpus mean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..dbsim.hardware import DISK_MEDIA, INSTANCES, HardwareSpec
+from ..dbsim.metrics import N_METRICS
+
+__all__ = ["FEATURE_VERSION", "SIGNATURE_KEYS", "FeatureCodec"]
+
+FEATURE_VERSION = 1
+
+# Canonical ordering of WorkloadSpec.signature() keys.  Frozen: appending
+# a key is a FEATURE_VERSION bump, not an edit.
+SIGNATURE_KEYS = (
+    "read_frac",
+    "point_frac",
+    "insert_frac",
+    "working_set_frac",
+    "skew",
+    "sort_frac",
+    "log2_data_gb",
+    "log2_threads",
+    "log2_ops_per_txn",
+)
+
+# Hardware features, log-scaled into roughly unit range the same way the
+# workload signature scales its size features.
+_N_HARDWARE = 4
+
+
+def _resolve_hardware(hardware: object) -> Optional[HardwareSpec]:
+    """Best-effort coercion of the many shapes hardware arrives in.
+
+    The corpus mixes live :class:`HardwareSpec` objects (in-process
+    service), instance names (audit JSONL), and serialized dicts
+    (registry metadata).  Anything unrecognizable degrades to ``None``
+    — the presence flag tells the model the block is absent.
+    """
+    if hardware is None:
+        return None
+    if isinstance(hardware, HardwareSpec):
+        return hardware
+    if isinstance(hardware, str):
+        return INSTANCES.get(hardware)
+    if isinstance(hardware, Mapping):
+        try:
+            return HardwareSpec(
+                name=str(hardware.get("name", "adhoc")),
+                ram_gb=float(hardware["ram_gb"]),
+                disk_gb=float(hardware["disk_gb"]),
+                cores=int(hardware.get("cores", 12)),
+                medium=str(hardware.get("medium", "cloud-ssd")),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+    return None
+
+
+class FeatureCodec:
+    """Maps (signature, hardware, metrics) triples to model input vectors."""
+
+    VERSION = FEATURE_VERSION
+
+    signature_dim = len(SIGNATURE_KEYS)
+    hardware_dim = _N_HARDWARE + 1  # + presence flag
+    metrics_dim = N_METRICS + 1     # + presence flag
+
+    @property
+    def dim(self) -> int:
+        return self.signature_dim + self.hardware_dim + self.metrics_dim
+
+    # -- encoding ----------------------------------------------------------
+    def encode(self, signature: Mapping[str, float],
+               hardware: object = None,
+               metrics: Optional[Sequence[float]] = None) -> np.ndarray:
+        """One feature vector.  Missing optional blocks are zero + flag=0."""
+        out = np.zeros(self.dim, dtype=np.float64)
+        for i, key in enumerate(SIGNATURE_KEYS):
+            if key in signature:
+                out[i] = float(signature[key])
+        offset = self.signature_dim
+
+        spec = _resolve_hardware(hardware)
+        if spec is not None:
+            medium = DISK_MEDIA[spec.medium]
+            out[offset + 0] = math.log2(spec.ram_gb) / 8.0
+            out[offset + 1] = math.log2(spec.disk_gb) / 10.0
+            out[offset + 2] = math.log2(spec.cores) / 6.0
+            out[offset + 3] = math.log2(medium.iops) / 20.0
+            out[offset + 4] = 1.0
+        offset += self.hardware_dim
+
+        if metrics is not None:
+            vec = np.asarray(metrics, dtype=np.float64).ravel()
+            if vec.shape[0] == N_METRICS and np.all(np.isfinite(vec)):
+                out[offset:offset + N_METRICS] = vec
+                out[offset + N_METRICS] = 1.0
+        return out
+
+    def encode_batch(self, examples: Sequence[Mapping[str, object]]) -> np.ndarray:
+        """Stack ``{"signature", "hardware", "metrics"}`` dicts into a matrix."""
+        rows = [
+            self.encode(
+                ex.get("signature") or {},
+                ex.get("hardware"),
+                ex.get("metrics"),
+            )
+            for ex in examples
+        ]
+        if not rows:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.stack(rows)
+
+    # -- versioning --------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return {
+            "version": np.asarray(self.VERSION, dtype=np.int64),
+            "dim": np.asarray(self.dim, dtype=np.int64),
+        }
+
+    def check_state(self, state: Mapping[str, np.ndarray]) -> None:
+        version = int(np.asarray(state["version"]))
+        dim = int(np.asarray(state["dim"]))
+        if version != self.VERSION or dim != self.dim:
+            raise ValueError(
+                f"feature layout mismatch: checkpoint is version {version} "
+                f"(dim {dim}), codec is version {self.VERSION} (dim {self.dim})"
+            )

@@ -1,0 +1,223 @@
+"""Supervised MLP regressor for one-shot knob prediction.
+
+Two heads over one standardized input:
+
+* **knob head** — ``features → [0, 1]^out_dim`` (Sigmoid output), the same
+  normalized action space the DDPG actor emits, so predictions plug
+  straight into ``KnobRegistry.from_vector`` and double as warm-start
+  seeds for the refinement pass;
+* **reward head** — a scalar regression of the corpus score
+  (standardized during training, de-standardized at predict time), which
+  becomes the ``predicted_reward`` on the served recommendation.
+
+Everything is built from :mod:`repro.nn` primitives (``Sequential`` /
+``Adam`` / ``MSELoss``) and checkpointed through the same atomic
+``save_state`` path as the RL agent: normalizer statistics ride along in
+the state dict, so a loaded model predicts bit-identically to the one
+that was saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from .features import FEATURE_VERSION
+
+__all__ = ["FitResult", "OneShotModel"]
+
+_STD_FLOOR = 1e-6
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Summary of one training run, for audit records and experiments."""
+
+    examples: int
+    epochs: int
+    knob_loss: float
+    reward_loss: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "examples": self.examples,
+            "epochs": self.epochs,
+            "knob_loss": self.knob_loss,
+            "reward_loss": self.reward_loss,
+        }
+
+
+def _mlp(in_dim: int, out_dim: int, hidden: Sequence[int],
+         rng: np.random.Generator, final: nn.Module | None) -> nn.Sequential:
+    layers: List[nn.Module] = []
+    prev = in_dim
+    for width in hidden:
+        layers.append(nn.Linear(prev, width, rng=rng))
+        layers.append(nn.ReLU())
+        prev = width
+    layers.append(nn.Linear(prev, out_dim, rng=rng))
+    if final is not None:
+        layers.append(final)
+    return nn.Sequential(*layers)
+
+
+class OneShotModel:
+    """MLP mapping feature vectors to (knob action, predicted score)."""
+
+    def __init__(self, in_dim: int, out_dim: int,
+                 hidden: Sequence[int] = (64, 64),
+                 seed: int = 0, lr: float = 1e-3) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("model dimensions must be positive")
+        self.in_dim = int(in_dim)
+        self.out_dim = int(out_dim)
+        self.hidden = tuple(int(h) for h in hidden)
+        self.seed = int(seed)
+        self.lr = float(lr)
+        rng = np.random.default_rng(self.seed)
+        self.knob_net = _mlp(self.in_dim, self.out_dim, self.hidden, rng,
+                             nn.Sigmoid())
+        self.reward_net = _mlp(self.in_dim, 1, self.hidden, rng, None)
+        # Input standardizer + reward de-standardizer; identity until fit.
+        self._in_mean = np.zeros(self.in_dim)
+        self._in_std = np.ones(self.in_dim)
+        self._reward_mean = 0.0
+        self._reward_std = 1.0
+        self.fitted = False
+
+    # -- training ----------------------------------------------------------
+    def fit(self, features: np.ndarray, actions: np.ndarray,
+            scores: Sequence[float], epochs: int = 200,
+            batch_size: int = 16) -> FitResult:
+        """Train both heads on the corpus; deterministic for a fixed seed."""
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        actions = np.atleast_2d(np.asarray(actions, dtype=np.float64))
+        targets = np.asarray(scores, dtype=np.float64).reshape(-1, 1)
+        n = features.shape[0]
+        if n == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        if actions.shape != (n, self.out_dim) or features.shape[1] != self.in_dim:
+            raise ValueError(
+                f"corpus shape mismatch: features {features.shape}, "
+                f"actions {actions.shape}; model is "
+                f"({self.in_dim} -> {self.out_dim})"
+            )
+        if targets.shape[0] != n:
+            raise ValueError("scores length must match features")
+
+        self._in_mean = features.mean(axis=0)
+        self._in_std = np.maximum(features.std(axis=0), _STD_FLOOR)
+        self._reward_mean = float(targets.mean())
+        self._reward_std = max(float(targets.std()), _STD_FLOOR)
+        x = (features - self._in_mean) / self._in_std
+        y_reward = (targets - self._reward_mean) / self._reward_std
+        y_knobs = np.clip(actions, 0.0, 1.0)
+
+        rng = np.random.default_rng(self.seed + 1)
+        knob_opt = nn.Adam(self.knob_net.parameters(), lr=self.lr)
+        reward_opt = nn.Adam(self.reward_net.parameters(), lr=self.lr)
+        loss = nn.MSELoss()
+        batch = max(1, min(int(batch_size), n))
+        knob_loss = reward_loss = 0.0
+        self.knob_net.train()
+        self.reward_net.train()
+        for _ in range(max(1, int(epochs))):
+            order = rng.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start:start + batch]
+                xb = x[idx]
+
+                knob_opt.zero_grad()
+                knob_loss = loss.forward(self.knob_net(xb), y_knobs[idx])
+                self.knob_net.backward(loss.backward())
+                knob_opt.step()
+
+                reward_opt.zero_grad()
+                reward_loss = loss.forward(self.reward_net(xb), y_reward[idx])
+                self.reward_net.backward(loss.backward())
+                reward_opt.step()
+        self.knob_net.eval()
+        self.reward_net.eval()
+        self.fitted = True
+        return FitResult(examples=n, epochs=max(1, int(epochs)),
+                         knob_loss=float(knob_loss),
+                         reward_loss=float(reward_loss))
+
+    # -- inference ---------------------------------------------------------
+    def predict(self, features: np.ndarray) -> Tuple[np.ndarray, float]:
+        """One (action in [0,1]^out_dim, predicted score) pair."""
+        if not self.fitted:
+            raise RuntimeError("predict called before fit/load")
+        vec = np.asarray(features, dtype=np.float64).reshape(1, self.in_dim)
+        x = (vec - self._in_mean) / self._in_std
+        self.knob_net.eval()
+        self.reward_net.eval()
+        action = np.clip(self.knob_net(x)[0], 0.0, 1.0)
+        score = float(self.reward_net(x)[0, 0]) * self._reward_std \
+            + self._reward_mean
+        return action, score
+
+    # -- serialization -----------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {f"knob_net.{k}": v for k, v in
+                 self.knob_net.state_dict().items()}
+        state.update({f"reward_net.{k}": v for k, v in
+                      self.reward_net.state_dict().items()})
+        state.update({
+            "norm.in_mean": self._in_mean.copy(),
+            "norm.in_std": self._in_std.copy(),
+            "norm.reward": np.asarray([self._reward_mean, self._reward_std]),
+            "meta.dims": np.asarray([self.in_dim, self.out_dim],
+                                    dtype=np.int64),
+            "meta.hidden": np.asarray(self.hidden, dtype=np.int64),
+            "meta.seed": np.asarray(self.seed, dtype=np.int64),
+            "meta.fitted": np.asarray(int(self.fitted), dtype=np.int64),
+            "meta.feature_version": np.asarray(FEATURE_VERSION,
+                                               dtype=np.int64),
+        })
+        return state
+
+    def load_state_dict(self, state: Mapping[str, np.ndarray]) -> None:
+        version = int(np.asarray(state["meta.feature_version"]))
+        if version != FEATURE_VERSION:
+            raise ValueError(
+                f"checkpoint feature layout v{version} does not match "
+                f"runtime v{FEATURE_VERSION}"
+            )
+        dims = np.asarray(state["meta.dims"], dtype=np.int64)
+        if (int(dims[0]), int(dims[1])) != (self.in_dim, self.out_dim):
+            raise ValueError(
+                f"checkpoint dims {tuple(int(d) for d in dims)} do not "
+                f"match model ({self.in_dim}, {self.out_dim})"
+            )
+        self.knob_net.load_state_dict(
+            {k[len("knob_net."):]: v for k, v in state.items()
+             if k.startswith("knob_net.")})
+        self.reward_net.load_state_dict(
+            {k[len("reward_net."):]: v for k, v in state.items()
+             if k.startswith("reward_net.")})
+        self._in_mean = np.asarray(state["norm.in_mean"], dtype=np.float64)
+        self._in_std = np.asarray(state["norm.in_std"], dtype=np.float64)
+        reward = np.asarray(state["norm.reward"], dtype=np.float64)
+        self._reward_mean = float(reward[0])
+        self._reward_std = float(reward[1])
+        self.fitted = bool(int(np.asarray(state["meta.fitted"])))
+        self.knob_net.eval()
+        self.reward_net.eval()
+
+    def save(self, path: str) -> None:
+        nn.save_state(self.state_dict(), path)
+
+    @classmethod
+    def load(cls, path: str) -> "OneShotModel":
+        state = nn.load_state(path)
+        dims = np.asarray(state["meta.dims"], dtype=np.int64)
+        hidden = tuple(int(h) for h in
+                       np.asarray(state["meta.hidden"], dtype=np.int64))
+        model = cls(int(dims[0]), int(dims[1]), hidden=hidden,
+                    seed=int(np.asarray(state["meta.seed"])))
+        model.load_state_dict(state)
+        return model

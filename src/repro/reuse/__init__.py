@@ -20,7 +20,7 @@ bill from three sides, each usable alone and composed end to end by
 """
 
 from .compress import CompressionResult, SliceCompression, WorkloadCompressor
-from .history import HistoryRecord, HistoryStore
+from .history import CorpusExample, HistoryRecord, HistoryStore
 from .mix import MixComponent, MixDatabase, TimeSlice, WorkloadMix
 from .verify import (CandidateVerdict, ConfigVerifier, StagedTuneResult,
                      VerificationResult, performance_score, staged_tune)
@@ -29,6 +29,7 @@ __all__ = [
     "CandidateVerdict",
     "CompressionResult",
     "ConfigVerifier",
+    "CorpusExample",
     "HistoryRecord",
     "HistoryStore",
     "MixComponent",

@@ -16,9 +16,13 @@ two bootstrap products for a new session:
   DDPG replay buffer, so the critic starts with a ranking over actions
   instead of an empty memory (crashed configs are included: the crash
   penalty is exactly the signal that keeps the policy out of the §5.2.3
-  crash region).
+  crash region);
+* :meth:`training_corpus` — one ``(signature, hardware, metrics) → best
+  config`` example per finished session, the supervised training set the
+  one-shot recommender (:mod:`repro.oneshot`) learns the direct
+  workload→configuration mapping from.
 
-Both are free — no stress test runs until the session itself evaluates.
+All are free — no stress test runs until the session itself evaluates.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from ..dbsim.knobs import KnobRegistry
 from ..dbsim.workload import WORKLOADS, signature_distance
 from ..obs import get_logger, get_tracer
 
-__all__ = ["HistoryRecord", "HistoryStore"]
+__all__ = ["CorpusExample", "HistoryRecord", "HistoryStore"]
 
 logger = get_logger(__name__)
 
@@ -60,6 +64,7 @@ class HistoryRecord:
     tenant: str | None = None
     workload: str | None = None
     metrics: Tuple[float, ...] | None = None  # 63-metric state, when known
+    hardware: str | None = None      # instance name, when known
 
     @property
     def score(self) -> float:
@@ -77,6 +82,36 @@ class HistoryRecord:
             "tenant": self.tenant,
             "workload": self.workload,
             "metrics": list(self.metrics) if self.metrics is not None else None,
+            "hardware": self.hardware,
+        }
+
+
+@dataclass(frozen=True)
+class CorpusExample:
+    """One supervised training example: best known config for a tenant.
+
+    The input side mirrors what a new tenant can present *before* any
+    tuning — its workload signature, hardware name, and (optionally) the
+    internal-metric state observed under the incumbent configuration.
+    The target is the best non-crashed configuration the fleet ever
+    found for that tenant, with its achieved score as the reward label.
+    """
+
+    signature: Dict[str, float]
+    config: Dict[str, float]
+    score: float
+    hardware: str | None = None
+    metrics: Tuple[float, ...] | None = None
+    source: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "signature": dict(self.signature),
+            "config": dict(self.config),
+            "score": self.score,
+            "hardware": self.hardware,
+            "metrics": list(self.metrics) if self.metrics is not None else None,
+            "source": self.source,
         }
 
 
@@ -135,11 +170,26 @@ class HistoryStore:
         """Append records mined from ``source``; returns how many."""
         events = list(_iter_events(source))
         signatures: Dict[str, Dict[str, float]] = {}
+        hardware_names: Dict[str, str] = {}
+        metrics_by_session: Dict[str, Tuple[float, ...]] = {}
         for event in events:
-            if event.get("event") == "queued" and "signature" in event:
-                signatures[str(event["session"])] = {
-                    str(k): float(v)
-                    for k, v in event["signature"].items()}  # type: ignore[union-attr]
+            session = str(event.get("session"))
+            if event.get("event") == "queued":
+                if "signature" in event:
+                    signatures[session] = {
+                        str(k): float(v)
+                        for k, v in event["signature"].items()}  # type: ignore[union-attr]
+                if event.get("hardware"):
+                    hardware_names[session] = str(event["hardware"])
+            # One-shot sessions record the incumbent's internal-metric
+            # state (the prediction input); keep it as corpus context.
+            elif event.get("event") == "oneshot-predicted" \
+                    and event.get("metrics"):
+                try:
+                    metrics_by_session[session] = tuple(
+                        float(v) for v in event["metrics"])  # type: ignore[union-attr]
+                except (TypeError, ValueError):
+                    pass
         added = 0
         for event in events:
             if event.get("event") != "session-report":
@@ -174,6 +224,8 @@ class HistoryStore:
                     source=f"audit:{session}",
                     tenant=report.get("tenant"),  # type: ignore[union-attr]
                     workload=report.get("workload"),  # type: ignore[union-attr]
+                    metrics=metrics_by_session.get(session),
+                    hardware=hardware_names.get(session),
                 ))
                 added += 1
         return added
@@ -202,18 +254,27 @@ class HistoryStore:
                 source=f"registry:{entry.model_id}",
                 tenant=str(entry.metadata.get("tenant", "")) or None,
                 workload=entry.workload_name,
+                hardware=(str(entry.hardware.get("name"))
+                          if isinstance(entry.hardware, Mapping)
+                          and entry.hardware.get("name") else None),
             ))
         return store
 
     def add_result(self, signature: Mapping[str, float], tuning_result,
                    source: str = "inline", workload: str | None = None,
-                   ) -> int:
+                   hardware: str | None = None,
+                   metrics: Sequence[float] | None = None) -> int:
         """Ingest a :class:`~repro.core.results.TuningResult` directly.
 
         Lets non-service flows (experiments, notebooks) grow a history
-        store without round-tripping through an audit file.
+        store without round-tripping through an audit file.  ``hardware``
+        (instance name) and ``metrics`` (the 63-metric state observed
+        before tuning) enrich every record so the one-shot corpus can be
+        built from in-process stores too.
         """
         added = 0
+        metric_state = (tuple(float(v) for v in metrics)
+                        if metrics is not None else None)
         for record in tuning_result.records:
             self.add(HistoryRecord(
                 signature={str(k): float(v) for k, v in signature.items()},
@@ -224,9 +285,56 @@ class HistoryStore:
                 crashed=record.crashed,
                 source=source,
                 workload=workload,
+                metrics=metric_state,
+                hardware=hardware,
             ))
             added += 1
         return added
+
+    # -- supervised corpus ---------------------------------------------------
+    def training_corpus(self) -> List[CorpusExample]:
+        """One supervised example per session: its best non-crashed config.
+
+        Records are grouped by ``source`` (one source string per session
+        or registry entry); within a group the best-scoring non-crashed
+        record wins — that is the configuration the session would have
+        recommended.  Records with neither a finite score nor a reward
+        label carry no learnable target and are dropped.  Groups sharing
+        a signature are all kept: the same workload on different hardware
+        is exactly the contrast the hardware features exist to learn.
+        """
+        by_source: Dict[str, HistoryRecord] = {}
+        order: List[str] = []
+        for record in self._records:
+            if record.crashed or not record.config:
+                continue
+            label = record.score if np.isfinite(record.score) else (
+                float(record.reward) if record.reward is not None else None)
+            if label is None:
+                continue
+            best = by_source.get(record.source)
+            if best is None:
+                order.append(record.source)
+                by_source[record.source] = record
+            else:
+                best_label = best.score if np.isfinite(best.score) else (
+                    float(best.reward) if best.reward is not None else -np.inf)
+                if label > best_label:
+                    by_source[record.source] = record
+        corpus: List[CorpusExample] = []
+        for source in order:
+            record = by_source[source]
+            label = record.score if np.isfinite(record.score) else \
+                float(record.reward)
+            corpus.append(CorpusExample(
+                signature=dict(record.signature),
+                config=dict(record.config),
+                score=float(label),
+                hardware=record.hardware,
+                metrics=record.metrics,
+                source=source,
+            ))
+        return corpus
 
     # -- lookup ------------------------------------------------------------
     def nearest(self, signature: Mapping[str, float], k: int | None = None,

@@ -70,6 +70,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="offline training step budget per session")
     parser.add_argument("--tune-steps", type=int, default=5,
                         help="online tuning steps (paper: 5)")
+    parser.add_argument("--mode", default="full",
+                        choices=["full", "refine", "oneshot"],
+                        help="session mode: full DDPG run, refine from "
+                             "history, or one-shot predict-then-refine "
+                             "(default full)")
+    parser.add_argument("--oneshot-from-audit", default=None,
+                        metavar="AUDIT_JSONL",
+                        help="train the one-shot recommender from this "
+                             "audit trail before submitting sessions")
     parser.add_argument("--workers", type=int, default=2,
                         help="concurrent tuning sessions")
     parser.add_argument("--seed", type=int, default=0)
@@ -122,9 +131,33 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                              "temporary directory)")
     parser.add_argument("--audit", default=None,
                         help="write the audit trail to this JSONL file")
+    parser.add_argument("--oneshot-from-audit", default=None,
+                        metavar="AUDIT_JSONL",
+                        help="train the one-shot recommender from this "
+                             "audit trail at startup; sessions submitted "
+                             "with mode=oneshot then get an instant "
+                             "predicted config before DDPG refinement")
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="capture spans to this JSONL file")
     return parser
+
+
+def _train_oneshot(audit_path: str):
+    """Mine ``audit_path`` and train a one-shot recommender from it.
+
+    Raises ``OSError`` / ``ValueError`` when the trail is unreadable or
+    yields too few usable training examples.
+    """
+    from ..dbsim.mysql_knobs import mysql_registry
+    from ..oneshot import OneShotRecommender
+    from ..reuse import HistoryStore
+
+    history = HistoryStore.from_audit(audit_path)
+    recommender, fit = OneShotRecommender.from_history(
+        history, mysql_registry())
+    logger.info("one-shot recommender: %d example(s) from %s "
+                "(knob loss %.4f)", fit.examples, audit_path, fit.knob_loss)
+    return recommender
 
 
 def serve_main(argv: List[str] | None = None) -> int:
@@ -137,17 +170,40 @@ def serve_main(argv: List[str] | None = None) -> int:
     try:
         registry_dir = (args.registry
                         or tempfile.mkdtemp(prefix="repro-registry-"))
+        oneshot = None
+        if args.oneshot_from_audit:
+            try:
+                oneshot = _train_oneshot(args.oneshot_from_audit)
+            except (OSError, ValueError) as error:
+                logger.error("cannot train one-shot recommender: %s", error)
+                return 2
         if args.shards > 0:
             service = ShardedTuningService(
                 shards=args.shards, workers_per_shard=args.workers,
                 audit_path=args.audit, registry_dir=registry_dir,
                 session_retention=args.session_retention)
+            if oneshot is not None:
+                # Shards fork, so a closure over the trained recommender
+                # reaches every child process intact.
+                default_factory = service.shard_factory
+
+                def factory(index, audit, _default=default_factory,
+                            _oneshot=oneshot):
+                    child = _default(index, audit)
+                    child.oneshot = _oneshot
+                    return child
+
+                service.shard_factory = factory
+                # The parent never predicts, but /healthz reports
+                # oneshot readiness off this attribute.
+                service.oneshot = oneshot
         else:
             service = TuningService(
                 registry=ModelRegistry(registry_dir),
                 audit=AuditLog(path=args.audit),
                 workers=args.workers,
-                session_retention=args.session_retention)
+                session_retention=args.session_retention,
+                oneshot=oneshot)
         front_door = ServiceFrontDoor(service, host=args.host,
                                       port=args.port,
                                       max_queue_depth=args.max_queue_depth,
@@ -180,14 +236,21 @@ def main(argv: List[str] | None = None) -> int:
                         or tempfile.mkdtemp(prefix="repro-registry-"))
         registry = ModelRegistry(registry_dir)
         audit = AuditLog(path=args.audit)
+        oneshot = None
+        if args.oneshot_from_audit:
+            try:
+                oneshot = _train_oneshot(args.oneshot_from_audit)
+            except (OSError, ValueError) as error:
+                logger.error("cannot train one-shot recommender: %s", error)
+                return 2
         service = TuningService(registry=registry, audit=audit,
-                                workers=args.workers)
+                                workers=args.workers, oneshot=oneshot)
 
         session_ids = []
         with service:
             for index, name in enumerate(workloads):
                 session_ids.append(service.submit(TuningRequest(
-                    hardware=hardware, workload=name,
+                    hardware=hardware, workload=name, mode=args.mode,
                     train_steps=args.steps, tune_steps=args.tune_steps,
                     seed=args.seed + index, noise=args.noise)))
             for sid in session_ids:

@@ -7,15 +7,27 @@ module is that layer, built entirely on the standard library
 (``asyncio.start_server`` + a small HTTP/1.1 parser — dependencies are
 frozen, so no aiohttp):
 
-* ``POST /sessions``  — submit a tuning request (JSON body); ``202`` with
-  the session and trace ids, ``429`` when shed;
-* ``GET /sessions``   — status snapshots of every session;
-* ``GET /sessions/{id}`` — one session's snapshot (``404`` when unknown);
-* ``GET /metrics``    — Prometheus text exposition of the process-wide
-  :class:`~repro.obs.metrics.MetricsRegistry`;
-* ``GET /healthz``    — queue depth, live worker count, draining flag;
-* ``POST /shutdown``  — graceful drain (finish queued + in-flight
+The HTTP surface is versioned under ``/v1`` (the canonical form):
+
+* ``POST /v1/sessions``  — submit a tuning request (JSON body); ``202``
+  with the session and trace ids, ``429`` when shed;
+* ``GET /v1/sessions``   — status snapshots of every session;
+* ``GET /v1/sessions/{id}`` — one session's snapshot, including the
+  structured ``recommendation`` (config + source provenance) once one
+  exists (``404`` when unknown, ``410`` when evicted);
+* ``GET /v1/metrics``    — Prometheus text exposition of the
+  process-wide :class:`~repro.obs.metrics.MetricsRegistry`;
+* ``GET /v1/healthz``    — queue depth, live worker count, draining
+  flag, one-shot recommender readiness;
+* ``POST /v1/shutdown``  — graceful drain (finish queued + in-flight
   sessions) and stop, or immediate cancel with ``{"drain": false}``.
+
+Unversioned paths keep working for one release: ``GET`` answers ``308
+Permanent Redirect`` to the ``/v1`` form, ``POST`` is served as a
+transparent alias; both carry a ``Deprecation: true`` response header
+plus a ``Link: ...; rel="successor-version"`` pointer so clients can
+migrate mechanically.  The bundled :func:`http_request` client follows
+the redirect (pass ``follow_redirects=False`` to see the 308 itself).
 
 Backpressure is two-staged, both knobs configurable:
 
@@ -55,11 +67,19 @@ logger = get_logger(__name__)
 __all__ = ["ServiceFrontDoor", "TokenBucket", "http_request"]
 
 _REASONS = {
-    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    200: "OK", 202: "Accepted", 308: "Permanent Redirect",
+    400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 410: "Gone", 413: "Payload Too Large",
     429: "Too Many Requests", 500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+#: Current (canonical) API version prefix.
+_API_PREFIX = "/v1"
+
+#: Help string shared by every increment site of the bad-request counter
+#: (parse-level rejects and body-shape rejects are one phenomenon).
+_BAD_REQUEST_HELP = "Malformed requests rejected (framing or body shape)"
 
 
 class _HttpError(Exception):
@@ -75,8 +95,9 @@ class _HttpError(Exception):
 _REQUEST_FIELDS = frozenset({
     "workload", "hardware", "tenant", "priority", "train_steps",
     "tune_steps", "current_config", "seed", "noise", "eval_workers",
-    "warm_start", "train_kwargs", "compress", "compress_components",
-    "reuse_history", "history_seeds", "history_replay", "verify_top_k",
+    "mode", "warm_start", "train_kwargs", "compress",
+    "compress_components", "reuse_history", "history_seeds",
+    "history_replay", "verify_top_k",
 })
 
 
@@ -251,7 +272,7 @@ class ServiceFrontDoor:
                     # but the stream is no longer framed, so close after.
                     get_metrics().counter(
                         "frontdoor.bad_requests",
-                        help="Requests rejected at the HTTP parser").inc()
+                        help=_BAD_REQUEST_HELP).inc()
                     writer.write(_render_response(
                         error.status, {"error": error.message}, {},
                         keep_alive=False))
@@ -350,6 +371,40 @@ class ServiceFrontDoor:
 
     def _route(self, method: str, path: str, body: bytes, trace_id: str | None,
                ) -> Tuple[int, object, Dict[str, str]]:
+        """Version handling, then dispatch.
+
+        ``/v1/...`` is canonical.  A *known* unversioned path is served
+        one more release: ``GET`` answers a 308 redirect to the ``/v1``
+        form (safe to replay), anything else is aliased transparently —
+        a 308 would force clients to re-send the body they just sent.
+        Both carry ``Deprecation`` + ``Link`` headers.  Unknown paths
+        404 either way.
+        """
+        if path == _API_PREFIX or path.startswith(_API_PREFIX + "/"):
+            bare = path[len(_API_PREFIX):] or "/"
+            return self._route_bare(method, bare, body, trace_id)
+        if self._known_path(path):
+            deprecation = {
+                "Deprecation": "true",
+                "Link": f'<{_API_PREFIX}{path}>; rel="successor-version"',
+            }
+            if method == "GET":
+                location = _API_PREFIX + path
+                return 308, {"location": location}, {
+                    "Location": location, **deprecation}
+            status, payload, extra = self._route_bare(method, path, body,
+                                                      trace_id)
+            return status, payload, {**extra, **deprecation}
+        return 404, {"error": f"no route for {method} {path}"}, {}
+
+    @staticmethod
+    def _known_path(path: str) -> bool:
+        return (path in ("/sessions", "/metrics", "/healthz", "/shutdown")
+                or path.startswith("/sessions/"))
+
+    def _route_bare(self, method: str, path: str, body: bytes,
+                    trace_id: str | None,
+                    ) -> Tuple[int, object, Dict[str, str]]:
         if path == "/sessions":
             if method == "POST":
                 return self._post_session(body, trace_id)
@@ -370,11 +425,13 @@ class ServiceFrontDoor:
         if path == "/metrics" and method == "GET":
             return 200, get_metrics().render_prometheus(), {}
         if path == "/healthz" and method == "GET":
+            oneshot = getattr(self.service, "oneshot", None)
             return 200, {
                 "queue_depth": self.service.queue_depth(),
                 "workers": self.service.workers,
                 "workers_alive": self.service.workers_alive(),
                 "draining": self._draining,
+                "oneshot_ready": bool(getattr(oneshot, "ready", False)),
             }, {}
         if path == "/shutdown" and method == "POST":
             return self._post_shutdown(body)
@@ -405,6 +462,18 @@ class ServiceFrontDoor:
                 "frontdoor.buckets_pruned",
                 help="Idle per-tenant token buckets dropped").inc(len(idle))
 
+    @staticmethod
+    def _bad_body(message: str) -> Tuple[int, object, Dict[str, str]]:
+        """A body-shape 400, counted under the bad-request metric.
+
+        Parse-level rejects (the connection handler) and body-shape
+        rejects are the same phenomenon to an operator watching
+        ``frontdoor.bad_requests``: a client sending garbage.
+        """
+        get_metrics().counter("frontdoor.bad_requests",
+                              help=_BAD_REQUEST_HELP).inc()
+        return 400, {"error": message}, {}
+
     def _post_session(self, body: bytes, trace_id: str | None,
                       ) -> Tuple[int, object, Dict[str, str]]:
         metrics = get_metrics()
@@ -413,23 +482,41 @@ class ServiceFrontDoor:
         try:
             payload = json.loads(body.decode("utf-8") or "{}")
         except (UnicodeDecodeError, ValueError):
-            return 400, {"error": "body is not valid JSON"}, {}
+            return self._bad_body("body is not valid JSON")
         if not isinstance(payload, dict):
-            return 400, {"error": "body must be a JSON object"}, {}
+            # Valid JSON, wrong shape ([], "x", 42, null): answer with a
+            # body-shape 400 instead of letting **payload below raise
+            # into a generic 500.
+            return self._bad_body(
+                f"body must be a JSON object, not {type(payload).__name__}")
         unknown = set(payload) - _REQUEST_FIELDS
         if unknown:
-            return 400, {"error": f"unknown fields {sorted(unknown)}"}, {}
+            return self._bad_body(f"unknown fields {sorted(unknown)}")
         if "workload" not in payload:
-            return 400, {"error": "field 'workload' is required"}, {}
+            return self._bad_body("field 'workload' is required")
+        if not isinstance(payload["workload"], (str, dict)):
+            return self._bad_body(
+                "field 'workload' must be a workload name or a mix/spec "
+                "object")
+        for nested in ("train_kwargs", "current_config"):
+            if nested in payload and payload[nested] is not None \
+                    and not isinstance(payload[nested], dict):
+                return self._bad_body(
+                    f"field {nested!r} must be a JSON object")
         hardware_name = payload.pop("hardware", "CDB-A")
         if hardware_name not in INSTANCES:
-            return 400, {"error": f"unknown hardware {hardware_name!r}; "
-                                  f"options: {sorted(INSTANCES)}"}, {}
+            return self._bad_body(
+                f"unknown hardware {hardware_name!r}; "
+                f"options: {sorted(INSTANCES)}")
         try:
             request = TuningRequest(hardware=INSTANCES[hardware_name],
                                     **payload)
         except (TypeError, ValueError) as error:
-            return 400, {"error": str(error)}, {}
+            return self._bad_body(str(error))
+        except KeyError as error:
+            # WorkloadMix.from_dict raises KeyError on a malformed mix;
+            # that is a client error, not an internal one.
+            return self._bad_body(f"malformed workload: missing {error}")
 
         tenant = str(request.tenant)
         bucket = self._bucket(tenant)
@@ -498,11 +585,14 @@ def _render_response(status: int, payload: object,
 async def http_request(host: str, port: int, method: str, path: str,
                        body: object = None,
                        timeout: float = 30.0,
+                       follow_redirects: bool = True,
                        ) -> Tuple[int, Dict[str, str], object]:
     """Minimal stdlib HTTP client for the front door (benchmarks, tests).
 
     Returns ``(status, headers, payload)`` where ``payload`` is parsed
     JSON for ``application/json`` responses and raw text otherwise.
+    Follows one 308 redirect (the legacy-path → ``/v1`` hop) unless
+    ``follow_redirects=False``.
     """
     raw = b""
     if body is not None:
@@ -534,6 +624,10 @@ async def http_request(host: str, port: int, method: str, path: str,
             await writer.wait_closed()
         except (ConnectionResetError, BrokenPipeError):
             pass
+    if status == 308 and follow_redirects and "location" in headers:
+        return await http_request(host, port, method, headers["location"],
+                                  body=body, timeout=timeout,
+                                  follow_redirects=False)
     if headers.get("content-type", "").startswith("application/json"):
         return status, headers, json.loads(payload_bytes or b"null")
     return status, headers, payload_bytes.decode("utf-8", "replace")

@@ -1,0 +1,140 @@
+"""Structured recommendation objects for the versioned service API.
+
+OnlineTune-style staged trust needs the API to say not just *what*
+configuration to apply but *how it was produced*: a one-shot prediction
+deserves different scrutiny than a fully refined, canary-verified
+result.  :class:`Recommendation` carries that provenance:
+
+``source``
+    ``"oneshot"`` — predicted by the corpus-trained recommender, no
+    per-tenant search behind it; ``"warm"`` / ``"cold"`` — produced by a
+    warm- or cold-started RL session; ``"refined"`` — a one-shot
+    prediction improved upon by the refinement pass.
+``trials_used``
+    Stress-test evaluations spent producing it (0 for a pure one-shot).
+``predicted_reward``
+    The recommender's own score estimate, when one exists.
+``verified``
+    Whether the config was measured on the tenant's full workload (staged
+    verification or an accepted canary) rather than merely predicted.
+
+The legacy flat ``recommended_config`` key stays readable in session
+snapshots for one release via :class:`DeprecatedKeyDict`, which warns on
+access; JSON rendering iterates items and stays warning-free, so the CI
+job that runs with ``-W error::DeprecationWarning`` proves the service
+itself never reads the old key.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
+
+__all__ = ["Recommendation", "DeprecatedKeyDict", "SNAPSHOT_DEPRECATIONS",
+           "SOURCES", "wrap_status"]
+
+#: Valid provenance labels, in increasing order of effort spent.
+SOURCES = ("oneshot", "warm", "cold", "refined")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One configuration recommendation plus its provenance."""
+
+    config: Dict[str, float]
+    source: str
+    trials_used: int = 0
+    predicted_reward: Optional[float] = None
+    verified: bool = False
+
+    def __post_init__(self) -> None:
+        if self.source not in SOURCES:
+            raise ValueError(
+                f"unknown recommendation source {self.source!r}; "
+                f"expected one of {SOURCES}"
+            )
+        object.__setattr__(self, "config", dict(self.config))
+        object.__setattr__(self, "trials_used", int(self.trials_used))
+        if self.trials_used < 0:
+            raise ValueError("trials_used must be >= 0")
+
+    def with_verified(self, verified: bool = True) -> "Recommendation":
+        return replace(self, verified=bool(verified))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": dict(self.config),
+            "source": self.source,
+            "trials_used": self.trials_used,
+            "predicted_reward": self.predicted_reward,
+            "verified": self.verified,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Recommendation":
+        predicted = data.get("predicted_reward")
+        return cls(
+            config={str(k): float(v)  # type: ignore[arg-type]
+                    for k, v in (data.get("config") or {}).items()},  # type: ignore[union-attr]
+            source=str(data["source"]),
+            trials_used=int(data.get("trials_used", 0)),  # type: ignore[arg-type]
+            predicted_reward=(float(predicted)  # type: ignore[arg-type]
+                              if predicted is not None else None),
+            verified=bool(data.get("verified", False)),
+        )
+
+
+class DeprecatedKeyDict(dict):
+    """A dict that warns when deprecated keys are *read*.
+
+    Serialization paths (``json.dumps``, ``dict(...)``, ``.items()``)
+    iterate the mapping and never hit ``__getitem__``/``get``, so the
+    legacy key still travels to clients without tripping the
+    deprecation-clean CI job; only code that actually reads it warns.
+    """
+
+    def __init__(self, data: Mapping[str, object],
+                 deprecated: Mapping[str, str]) -> None:
+        super().__init__(data)
+        self._deprecated = dict(deprecated)
+
+    def _warn(self, key: object) -> None:
+        replacement = self._deprecated.get(key)  # type: ignore[arg-type]
+        if replacement is not None:
+            warnings.warn(
+                f"session snapshot key {key!r} is deprecated and will be "
+                f"removed next release; read {replacement!r} instead",
+                DeprecationWarning, stacklevel=3)
+
+    def __getitem__(self, key):
+        self._warn(key)
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        self._warn(key)
+        return super().get(key, default)
+
+
+#: Snapshot keys retired in favour of the structured recommendation.
+SNAPSHOT_DEPRECATIONS: Dict[str, str] = {
+    "recommended_config": "recommendation",
+}
+
+
+def wrap_status(snapshot: Mapping[str, object]) -> "DeprecatedKeyDict":
+    """Attach the legacy-key shim to a session status snapshot.
+
+    Adds the flat ``recommended_config`` alias when a structured
+    recommendation is present, then wraps the whole snapshot so reading
+    the alias warns.  Used by both the in-process service and the
+    sharded parent (whose snapshots arrive as plain JSON from a child
+    and would otherwise lose the shim in relay).
+    """
+    data = dict(snapshot)
+    recommendation = data.get("recommendation")
+    if isinstance(recommendation, Mapping) and "recommended_config" not in data:
+        config = recommendation.get("config")
+        if isinstance(config, Mapping):
+            data["recommended_config"] = dict(config)
+    return DeprecatedKeyDict(data, SNAPSHOT_DEPRECATIONS)

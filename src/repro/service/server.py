@@ -23,6 +23,13 @@ Session lifecycle::
     SUBMITTED → WARMUP → TRAINING → RECOMMENDED → DEPLOYED
                                                 → FAILED
 
+One-shot sessions (``mode="oneshot"``, with a fitted
+:class:`~repro.oneshot.OneShotRecommender` attached) pass through an
+extra ``PREDICTED`` state between WARMUP and TRAINING: the corpus-trained
+model's config is emitted instantly as a provisional recommendation —
+audited as ``oneshot-predicted`` and guard-canaried like any candidate —
+and the DDPG loop then runs as a refinement pass with a reduced budget.
+
 Sessions are deterministic under a fixed request seed regardless of how
 worker threads interleave: each session owns its private tuner, database
 and RNG chain, and cross-session coupling happens only through the
@@ -38,7 +45,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from .audit import AuditLog
+from .recommendation import Recommendation as ServiceRecommendation
+from .recommendation import wrap_status
 from .registry import ModelEntry, ModelRegistry
 from .safety import CanaryVerdict, SafetyGuard
 from ..core.recommender import Recommendation
@@ -85,6 +96,7 @@ class SessionState:
 
     SUBMITTED = "SUBMITTED"
     WARMUP = "WARMUP"
+    PREDICTED = "PREDICTED"   # one-shot sessions only: provisional config out
     TRAINING = "TRAINING"
     RECOMMENDED = "RECOMMENDED"
     DEPLOYED = "DEPLOYED"
@@ -93,6 +105,22 @@ class SessionState:
 
     TERMINAL = frozenset({DEPLOYED, FAILED, EXPIRED})
     ORDER = (SUBMITTED, WARMUP, TRAINING, RECOMMENDED, DEPLOYED)
+
+
+#: Per-mode defaults for the knowledge-reuse switches.  ``None`` in the
+#: request means "whatever the mode says"; an explicit boolean wins.
+_MODE_DEFAULTS: Dict[str, Dict[str, bool]] = {
+    # Today's behaviour: full offline training, warm start when the
+    # registry has a close-enough model.
+    "full": {"warm_start": True, "compress": False, "reuse_history": False},
+    # Lean on everything already known: registry warm start plus history
+    # bootstrap, full per-session search budget semantics otherwise.
+    "refine": {"warm_start": True, "compress": False, "reuse_history": True},
+    # Predict first from the tuning corpus, then refine with a reduced
+    # budget.  History bootstrap is on: a fleet with a trained one-shot
+    # model by definition has history worth seeding from.
+    "oneshot": {"warm_start": True, "compress": False, "reuse_history": True},
+}
 
 
 @dataclass
@@ -104,11 +132,19 @@ class TuningRequest:
     values are served first; ties go to submission order.
 
     ``workload`` may be a :class:`~repro.reuse.mix.WorkloadMix` (or a mix
-    dict through the front door).  The evaluation-economy options:
-    ``compress`` tunes on a compressed mix and stage-verifies the top
-    ``verify_top_k`` candidates on the full workload before the canary;
-    ``reuse_history`` bootstraps warmup probes (``history_seeds``) and the
-    replay buffer (``history_replay``) from the service's
+    dict through the front door).
+
+    ``mode`` picks the serving strategy — ``"full"`` (cold/warm RL
+    session, the default), ``"refine"`` (reuse all accumulated
+    knowledge) or ``"oneshot"`` (instant prediction from the tuning
+    corpus, RL demoted to a reduced-budget refinement pass) — and sets
+    the defaults for the per-feature switches.  ``warm_start``,
+    ``compress`` and ``reuse_history`` accept explicit booleans to
+    override the mode (``None`` defers to it): ``compress`` tunes on a
+    compressed mix and stage-verifies the top ``verify_top_k``
+    candidates on the full workload before the canary; ``reuse_history``
+    bootstraps warmup probes (``history_seeds``) and the replay buffer
+    (``history_replay``) from the service's
     :class:`~repro.reuse.history.HistoryStore`.
     """
 
@@ -122,10 +158,11 @@ class TuningRequest:
     seed: int = 0
     noise: float = 0.015
     eval_workers: int = 1          # >1 prefetches warmup via ParallelEvaluator
-    warm_start: bool = True
-    compress: bool = False         # tune on compressed mix, stage-verify
+    mode: str = "full"             # "full" | "refine" | "oneshot"
+    warm_start: bool | None = None
+    compress: bool | None = None   # tune on compressed mix, stage-verify
     compress_components: int | None = None  # per-slice budget (None: coverage)
-    reuse_history: bool = False    # bootstrap from the service history store
+    reuse_history: bool | None = None  # bootstrap from the service history
     history_seeds: int = 6         # warmup probes seeded from history
     history_replay: int = 24       # replay transitions pre-filled from history
     verify_top_k: int = 3          # candidates promoted to full-mix batch
@@ -138,6 +175,31 @@ class TuningRequest:
             self.workload = WorkloadMix.from_dict(self.workload)
         if self.tenant is None:
             self.tenant = f"{self.workload.name}@{self.hardware.name}"
+        self.mode = str(self.mode)
+        if self.mode not in _MODE_DEFAULTS:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; "
+                f"expected one of {sorted(_MODE_DEFAULTS)}")
+        if (self.mode == "refine" and self.warm_start is False
+                and self.reuse_history is False):
+            raise ValueError(
+                "mode='refine' with warm_start=False and "
+                "reuse_history=False disables every knowledge source "
+                "there is to refine from; use mode='full'")
+        if self.mode == "oneshot" and self.compress is True:
+            raise ValueError(
+                "mode='oneshot' already verifies its prediction with a "
+                "canary; compress=True would additionally re-verify on "
+                "the full mix — pick mode='full' with compress=True, or "
+                "drop compress")
+        defaults = _MODE_DEFAULTS[self.mode]
+        self.warm_start = (defaults["warm_start"] if self.warm_start is None
+                           else bool(self.warm_start))
+        self.compress = (defaults["compress"] if self.compress is None
+                         else bool(self.compress))
+        self.reuse_history = (defaults["reuse_history"]
+                              if self.reuse_history is None
+                              else bool(self.reuse_history))
         # Coerce numeric fields up front (requests arrive as parsed JSON
         # through the front door) so a bad value raises here, not deep in
         # the queue's heap ordering or a worker thread.
@@ -146,12 +208,10 @@ class TuningRequest:
         self.tune_steps = int(self.tune_steps)
         self.seed = int(self.seed)
         self.noise = float(self.noise)
-        self.compress = bool(self.compress)
         if self.compress_components is not None:
             self.compress_components = int(self.compress_components)
             if self.compress_components < 1:
                 raise ValueError("compress_components must be at least 1")
-        self.reuse_history = bool(self.reuse_history)
         self.history_seeds = int(self.history_seeds)
         self.history_replay = int(self.history_replay)
         self.verify_top_k = int(self.verify_top_k)
@@ -180,6 +240,9 @@ class TuningSession:
         self.training: TrainingResult | None = None
         self.tuning: TuningResult | None = None
         self.recommendation: Recommendation | None = None
+        self.service_recommendation: ServiceRecommendation | None = None
+        self.provisional: ServiceRecommendation | None = None
+        self.prediction_latency: float | None = None
         self.verdict: CanaryVerdict | None = None
         self.model_id: str | None = None
         self.deployed = False
@@ -216,6 +279,7 @@ class TuningSession:
             "workload": workload.name,
             "hardware": self.request.hardware.name,
             "priority": self.request.priority,
+            "mode": self.request.mode,
             "state": state,
             "state_history": history,
             "warm_started_from": self.warm_started_from,
@@ -247,7 +311,15 @@ class TuningSession:
             snapshot["verification"] = self.verification.to_dict()
         if self.history_seeded is not None:
             snapshot["history_bootstrap"] = dict(self.history_seeded)
-        return snapshot
+        # The structured recommendation: the final one once RECOMMENDED,
+        # else the provisional one-shot prediction (clients polling a
+        # one-shot session see a usable config the moment it exists).
+        recommendation = self.service_recommendation or self.provisional
+        if recommendation is not None:
+            snapshot["recommendation"] = recommendation.to_dict()
+        if self.prediction_latency is not None:
+            snapshot["prediction_latency_s"] = self.prediction_latency
+        return wrap_status(snapshot)
 
     def report(self) -> SessionReport:
         """End-to-end :class:`SessionReport` for this session.
@@ -287,6 +359,10 @@ class TuningSession:
             tuning=self.tuning,
             canary=(self.verdict.as_dict()
                     if self.verdict is not None else None),
+            recommendation=(
+                (self.service_recommendation or self.provisional).to_dict()
+                if (self.service_recommendation or self.provisional)
+                is not None else None),
             telemetry=telemetry,
         )
 
@@ -328,6 +404,17 @@ class TuningService:
         Fraction of the requested ``train_steps`` a warm-started session
         spends fine-tuning (§5.3: fine-tuning needs far fewer iterations
         than cold training).
+    oneshot:
+        A fitted :class:`~repro.oneshot.OneShotRecommender`; ``None``
+        (default) disables the one-shot stage — ``mode="oneshot"``
+        requests then degrade to ``refine`` behaviour with an
+        ``oneshot-unavailable`` audit record.  Assignable after
+        construction (``service.oneshot = ...``), e.g. once the first
+        corpus has been mined.
+    oneshot_budget_frac:
+        Fraction of the (possibly already warm-start-reduced) training
+        budget a one-shot session spends on its refinement pass — the
+        prediction replaces most of the search, E2ETune-style.
     autostart:
         Spawn workers on the first :meth:`submit` (default).  With
         ``autostart=False`` submissions only queue until :meth:`start` —
@@ -348,6 +435,8 @@ class TuningService:
                  workers: int = 2,
                  warm_start_max_distance: float = 0.35,
                  warm_start_budget_frac: float = 0.5,
+                 oneshot=None,
+                 oneshot_budget_frac: float = 0.5,
                  tuner_factory: TunerFactory | None = None,
                  autostart: bool = True,
                  session_retention: int | None = None) -> None:
@@ -355,6 +444,8 @@ class TuningService:
             raise ValueError("workers must be positive")
         if not 0.0 < warm_start_budget_frac <= 1.0:
             raise ValueError("warm_start_budget_frac must be in (0, 1]")
+        if not 0.0 < oneshot_budget_frac <= 1.0:
+            raise ValueError("oneshot_budget_frac must be in (0, 1]")
         if session_retention is not None and int(session_retention) < 1:
             raise ValueError("session_retention must be at least 1")
         self.registry = registry
@@ -364,6 +455,8 @@ class TuningService:
         self.workers = int(workers)
         self.warm_start_max_distance = float(warm_start_max_distance)
         self.warm_start_budget_frac = float(warm_start_budget_frac)
+        self.oneshot = oneshot
+        self.oneshot_budget_frac = float(oneshot_budget_frac)
         self.tuner_factory = tuner_factory or _default_tuner_factory
         self.autostart = bool(autostart)
         self.session_retention = (None if session_retention is None
@@ -803,6 +896,90 @@ class TuningService:
                     self._audit(session, "history-bootstrap",
                                 **session.history_seeded)
 
+            # ONESHOT: consult the corpus-trained recommender before any
+            # search.  The prediction is served instantly as a provisional
+            # recommendation — audited, canaried like any candidate, and
+            # (when the canary accepts) provisionally deployed so the
+            # refinement pass starts from it.  The RL loop is then demoted
+            # to a reduced-budget refinement.
+            incumbent_metrics = None
+            if request.mode == "oneshot":
+                if self.oneshot is None \
+                        or not getattr(self.oneshot, "ready", False):
+                    # Degrades to refine behaviour: the mode's reuse
+                    # defaults still apply, only the prediction is skipped.
+                    get_metrics().counter(
+                        "service.oneshot_unavailable",
+                        help="One-shot sessions served without a fitted "
+                             "recommender").inc()
+                    self._audit(session, "oneshot-unavailable",
+                                reason=("no recommender attached"
+                                        if self.oneshot is None
+                                        else "recommender not fitted"))
+                else:
+                    with tracer.span("service.oneshot"), \
+                            profile_block("service.oneshot",
+                                          phases=session.phase_seconds,
+                                          phase_key="oneshot"):
+                        database = tuner.make_database(request.hardware,
+                                                       workload)
+                        # The prediction input a live tenant presents:
+                        # internal-metric state under the incumbent config.
+                        observation = database.evaluate(
+                            baseline, trial=SafetyGuard.BASELINE_TRIAL)
+                        incumbent_metrics = [float(v)
+                                             for v in observation.metrics]
+                        prediction = self.oneshot.predict(
+                            workload.signature(), request.hardware,
+                            observation.metrics, base_config=baseline)
+                        session.prediction_latency = prediction.latency_s
+                        verdict = self.guard.canary(
+                            database, prediction.config,
+                            baseline_config=self.guard.deployed_config(
+                                tenant))
+                    get_metrics().counter(
+                        "service.oneshot_predictions",
+                        help="Configs predicted by the one-shot "
+                             "recommender").inc()
+                    if verdict.accepted:
+                        # Provisional deploy: the tenant runs the predicted
+                        # config while refinement is still in flight, and
+                        # tune() below starts from it.  Audited under its
+                        # own event name — the terminal "deployed" event
+                        # would stop a SIGKILLed shard from replaying a
+                        # predicted-but-unrefined session.
+                        self.guard.deploy(tenant, prediction.config,
+                                          verdict)
+                        self._audit(session, "oneshot-deployed",
+                                    tenant=tenant)
+                    session.provisional = ServiceRecommendation(
+                        config=prediction.config,
+                        source="oneshot",
+                        trials_used=0,
+                        predicted_reward=prediction.predicted_score,
+                        verified=verdict.accepted)
+                    session.train_budget = max(1, int(round(
+                        session.train_budget * self.oneshot_budget_frac)))
+                    self._audit(
+                        session, "oneshot-predicted",
+                        predicted_score=round(
+                            prediction.predicted_score, 6),
+                        latency_s=round(prediction.latency_s, 6),
+                        canary_accepted=verdict.accepted,
+                        budget=session.train_budget,
+                        metrics=incumbent_metrics,
+                        config=prediction.config)
+                    session._transition(SessionState.PREDICTED)
+                    # Seed the refinement warmup with the predicted action
+                    # (ahead of any history seeds): the first probe the
+                    # session pays for measures the prediction itself.
+                    seeds = train_kwargs.get("warmup_seeds")
+                    row = np.asarray(prediction.action,
+                                     dtype=np.float64).reshape(1, -1)
+                    train_kwargs["warmup_seeds"] = (
+                        np.vstack([row, seeds])
+                        if seeds is not None and len(seeds) else row)
+
             # TRAINING: offline training (full budget cold, reduced budget
             # warm) followed by the online tuning steps of §2.1.2.
             session._transition(SessionState.TRAINING)
@@ -877,9 +1054,34 @@ class TuningService:
 
             session.recommendation = tuner.recommender.from_config(
                 best_config)
+            # Provenance: a one-shot session whose refinement converged
+            # back to the predicted config is served as "oneshot"; one the
+            # search improved upon is "refined"; otherwise warm/cold says
+            # how the RL session itself started.
+            if session.provisional is not None:
+                source = ("oneshot"
+                          if dict(session.recommendation.config)
+                          == dict(session.provisional.config)
+                          else "refined")
+                predicted_reward = session.provisional.predicted_reward
+            else:
+                source = ("warm" if session.warm_started_from is not None
+                          else "cold")
+                predicted_reward = None
+            trials_used = session.training.steps + len(session.tuning.records)
+            session.service_recommendation = ServiceRecommendation(
+                config=dict(session.recommendation.config),
+                source=source,
+                trials_used=trials_used,
+                predicted_reward=predicted_reward,
+                verified=(session.verification is not None
+                          and session.verification.winner_config
+                          is not None))
             session._transition(SessionState.RECOMMENDED)
             self._audit(
                 session, "recommended",
+                source=source,
+                trials_used=trials_used,
                 best_throughput=best_perf.throughput,
                 best_latency=best_perf.latency,
                 improvement=session.tuning.throughput_improvement)
@@ -908,7 +1110,9 @@ class TuningService:
             # it without re-mining the audit file.
             self.history.add_result(workload.signature(), session.tuning,
                                     source=f"session:{session.id}",
-                                    workload=workload.name)
+                                    workload=workload.name,
+                                    hardware=request.hardware.name,
+                                    metrics=incumbent_metrics)
 
             # Canary + deployment: the recommendation must beat the tenant's
             # live configuration on a replica before it goes live.
@@ -926,9 +1130,32 @@ class TuningService:
                 self.guard.deploy(tenant, session.recommendation.config,
                                   verdict)
                 session.deployed = True
+                session.service_recommendation = (
+                    session.service_recommendation.with_verified(True))
                 self._audit(session, "deployed", tenant=tenant)
                 session._transition(SessionState.DEPLOYED)
                 root.set_tag("outcome", "deployed")
+            elif (session.provisional is not None
+                    and session.provisional.verified):
+                # One-shot session whose refinement could not beat the
+                # provisionally deployed prediction: the prediction is
+                # already live and canary-verified, so the session still
+                # succeeds — with the one-shot config as its outcome.
+                session.service_recommendation = session.provisional
+                session.recommendation = tuner.recommender.from_config(
+                    session.provisional.config)
+                session.deployed = True
+                get_metrics().counter(
+                    "service.oneshot_retained",
+                    help="Sessions whose refinement failed to beat the "
+                         "deployed one-shot prediction").inc()
+                self._audit(session, "deployment-blocked",
+                            reason=verdict.reason, detail=verdict.detail,
+                            retained="oneshot")
+                self._audit(session, "deployed", tenant=tenant,
+                            retained="oneshot")
+                session._transition(SessionState.DEPLOYED)
+                root.set_tag("outcome", "oneshot-retained")
             else:
                 session.error = f"canary rejected: {verdict.reason}"
                 self._audit(session, "deployment-blocked",

@@ -62,6 +62,7 @@ from hashlib import sha256
 from typing import Callable, Dict, List, Optional
 
 from .audit import AuditLog, _jsonable
+from .recommendation import wrap_status
 from .registry import ModelRegistry
 from .server import QueueFullError, SessionState, TuningRequest, TuningService
 from ..dbsim.hardware import HardwareSpec
@@ -148,6 +149,7 @@ def request_to_wire(request: TuningRequest) -> Dict[str, object]:
         "seed": request.seed,
         "noise": request.noise,
         "eval_workers": request.eval_workers,
+        "mode": request.mode,
         "warm_start": request.warm_start,
         "compress": request.compress,
         "compress_components": request.compress_components,
@@ -776,7 +778,10 @@ class ShardedTuningService:
                 # The shard evicted the record; route future polls off
                 # the shard (and off _meta) entirely.
                 return self._expire_meta(session_id)
-            return result
+            # Re-attach the deprecated-key shim: the child's snapshot
+            # crossed the wire as plain JSON, which sheds the warning
+            # wrapper (the legacy alias key itself relays fine).
+            return wrap_status(result) if isinstance(result, dict) else result
         if reply.get("kind") == "unknown-session":
             if self._terminal_in_audit(session_id):
                 return self._expire_meta(session_id)

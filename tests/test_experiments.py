@@ -72,7 +72,7 @@ class TestStaticExperiments:
         expected = {"fig1ab", "fig1c", "fig1d", "table2", "fig5", "fig6",
                     "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
                     "fig14", "fig15", "table6", "fig16", "fig17", "fig18",
-                    "service", "reuse"}
+                    "service", "reuse", "oneshot"}
         assert set(EXPERIMENTS) == expected
 
     def test_fig1c_monotone(self):

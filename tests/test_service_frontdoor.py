@@ -411,6 +411,111 @@ class TestBucketPruning:
 
 
 # ---------------------------------------------------------------------------
+# Versioned routes and the legacy deprecation window (PR 10 satellites)
+# ---------------------------------------------------------------------------
+class TestVersionedRoutes:
+    def test_v1_routes_are_canonical(self):
+        """The /v1 forms serve directly, with no deprecation headers."""
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                status, headers, body = await _post(
+                    front_door, "/v1/sessions", SUBMIT_BODY)
+                assert status == 202
+                assert "deprecation" not in headers
+                session_id = body["session"]
+
+                status, headers, payload = await _get(
+                    front_door, f"/v1/sessions/{session_id}")
+                assert status == 200
+                assert "deprecation" not in headers
+                assert payload["id"] == session_id
+
+                for path in ("/v1/sessions", "/v1/healthz", "/v1/metrics"):
+                    status, headers, _ = await _get(front_door, path)
+                    assert status == 200, path
+                    assert "deprecation" not in headers
+
+                status, _, _ = await _get(front_door, "/v1/no-such")
+                assert status == 404
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_legacy_get_redirects_with_deprecation_headers(self):
+        """Unversioned GETs answer 308 → /v1 with Deprecation + Link."""
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                status, headers, body = await http_request(
+                    "127.0.0.1", front_door.port, "GET", "/healthz",
+                    follow_redirects=False)
+                assert status == 308
+                assert headers["location"] == "/v1/healthz"
+                assert headers["deprecation"] == "true"
+                assert headers["link"] == \
+                    '</v1/healthz>; rel="successor-version"'
+                assert body["location"] == "/v1/healthz"
+                # The bundled client follows the hop transparently.
+                status, _, health = await _get(front_door, "/healthz")
+                assert status == 200
+                assert health["draining"] is False
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_legacy_post_is_aliased_with_deprecation_headers(self):
+        """Unversioned POSTs still work (no body re-send) but are marked."""
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            try:
+                status, headers, body = await http_request(
+                    "127.0.0.1", front_door.port, "POST", "/sessions",
+                    SUBMIT_BODY, follow_redirects=False)
+                assert status == 202
+                assert headers["deprecation"] == "true"
+                assert headers["link"] == \
+                    '</v1/sessions>; rel="successor-version"'
+                final = await _wait_terminal(front_door, body["session"])
+                assert final["state"] == SessionState.DEPLOYED
+                # Unknown legacy paths are 404, not redirected.
+                status, headers, _ = await http_request(
+                    "127.0.0.1", front_door.port, "GET", "/no-such-route",
+                    follow_redirects=False)
+                assert status == 404
+                assert "deprecation" not in headers
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+    def test_non_object_json_body_is_400_not_500(self):
+        """Valid JSON of the wrong shape is a client error and is counted
+        under ``frontdoor.bad_requests`` like any other garbage."""
+        async def scenario():
+            service = _service()
+            front_door = await ServiceFrontDoor(service, port=0).start()
+            bad_before = get_metrics().counter(
+                "frontdoor.bad_requests").value
+            try:
+                for payload, type_name in (([1, 2, 3], "list"),
+                                           ("sysbench-rw", "str"),
+                                           (42, "int")):
+                    status, _, body = await _post(front_door, "/v1/sessions",
+                                                  payload)
+                    assert status == 400, body
+                    assert type_name in body["error"]
+                assert get_metrics().counter(
+                    "frontdoor.bad_requests").value == bad_before + 3
+                assert service.sessions() == []
+            finally:
+                await front_door.shutdown(drain=True)
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
 # Tracing
 # ---------------------------------------------------------------------------
 class TestTraceThreading:

@@ -57,6 +57,55 @@ def _sharded(tmp_path, shards=2, **overrides):
     return ShardedTuningService(**kwargs)
 
 
+def _trained_recommender(tmp_path):
+    """Fit a tiny recommender on a synthetic corpus, checkpoint it."""
+    import numpy as np
+
+    from repro.dbsim.mysql_knobs import mysql_registry
+    from repro.oneshot import OneShotRecommender
+
+    registry = mysql_registry()
+    rng = np.random.default_rng(0)
+    base = get_workload("sysbench-rw").signature()
+    examples = []
+    for index in range(6):
+        action = np.clip(
+            0.5 + 0.1 * rng.standard_normal(registry.n_tunable), 0.0, 1.0)
+        examples.append({
+            "signature": {k: float(v) + 0.01 * index for k, v in base.items()},
+            "config": registry.from_vector(action),
+            "score": 100.0 + index,
+            "hardware": "CDB-A",
+        })
+    recommender = OneShotRecommender(registry, hidden=(8, 8), seed=0)
+    recommender.fit_corpus(examples, epochs=10, batch_size=4)
+    path = tmp_path / "oneshot.npz"
+    recommender.save(str(path))
+    return path
+
+
+def _oneshot_factory(model_path):
+    """Shard factory whose child loads the recommender from disk — the
+    deployment shape for sharded one-shot serving (each respawn reloads
+    the checkpoint, so crash recovery keeps the prediction path)."""
+    def factory(index, audit):
+        from repro.dbsim.mysql_knobs import mysql_registry
+        from repro.oneshot import OneShotRecommender
+
+        recommender = OneShotRecommender.load(str(model_path),
+                                              mysql_registry())
+
+        def tiny(request):
+            return CDBTune(seed=request.seed, noise=request.noise,
+                           actor_hidden=(8, 8), critic_hidden=(8, 8),
+                           critic_branch_width=4, batch_size=4,
+                           prioritized_replay=False)
+
+        return TuningService(audit=audit, workers=1, tuner_factory=tiny,
+                             oneshot=recommender)
+    return factory
+
+
 # ---------------------------------------------------------------------------
 # Consistent-hash ring
 # ---------------------------------------------------------------------------
@@ -126,6 +175,18 @@ class TestWireCodec:
         clone = request_from_wire(wire)
         assert isinstance(clone.workload, WorkloadMix)
         assert clone.workload.signature() == mix.signature()
+
+    def test_mode_roundtrip_and_legacy_default(self):
+        """``mode`` survives the wire; pre-mode wire dicts read as full."""
+        request = _request("t1", mode="oneshot")
+        wire = request_to_wire(request)
+        assert wire["mode"] == "oneshot"
+        clone = request_from_wire(wire)
+        assert clone.mode == "oneshot"
+        assert clone.compress is False
+        legacy = dict(wire)
+        legacy.pop("mode")                  # a wire dict from before PR 10
+        assert request_from_wire(legacy).mode == "full"
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +263,43 @@ class TestShardedService:
             reports = {e["session"] for e in events
                        if e["event"] == "session-report"}
             assert set(ids) <= reports            # every session reported
+
+    def test_kill_shard_replays_predicted_oneshot_session(self, tmp_path):
+        """SIGKILL a shard *after* the one-shot prediction but before the
+        refinement finishes: the respawned shard — whose factory reloads
+        the recommender checkpoint from disk — must replay the session
+        through the one-shot path again and land it terminal under its
+        original id, with source provenance in the relayed status."""
+        model_path = _trained_recommender(tmp_path)
+        with _sharded(tmp_path, shards=1,
+                      shard_factory=_oneshot_factory(model_path)) as service:
+            sid = service.submit(_request("tenant-one", train_steps=60,
+                                          mode="oneshot"))
+            deadline = time.monotonic() + 120
+            while True:                   # wait for the provisional config
+                events = AuditLog.read_jsonl(service.audit_path)
+                if any(e["event"] == "oneshot-predicted"
+                       and e["session"] == sid for e in events):
+                    break
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            pid = service.shard_pid(0)
+            os.kill(pid, signal.SIGKILL)
+
+            service.drain(timeout=300)
+            final = service.status(sid)
+            assert final["id"] == sid
+            assert final["state"] in SessionState.TERMINAL
+            recommendation = final.get("recommendation")
+            assert recommendation is not None
+            assert recommendation["source"] in ("oneshot", "refined")
+            assert recommendation["config"]
+
+            events = AuditLog.read_jsonl(service.audit_path)
+            kinds = collections.Counter(e["event"] for e in events)
+            assert kinds.get("shard-replayed", 0) >= 1
+            # Predicted once before the kill, again during the replay.
+            assert kinds["oneshot-predicted"] >= 2
 
     def test_terminal_before_crash_answers_expired_after_respawn(
             self, tmp_path):
